@@ -1,0 +1,53 @@
+// Command apparate-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	apparate-bench -list
+//	apparate-bench fig12 table2
+//	apparate-bench all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiment ids")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: apparate-bench [-list] <experiment-id>... | all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = experiments.IDs()
+	}
+	for _, id := range args {
+		start := time.Now()
+		tables, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

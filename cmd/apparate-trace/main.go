@@ -1,0 +1,82 @@
+// Command apparate-trace generates and inspects workload and arrival
+// traces: per-second arrival rates, difficulty statistics, and regime
+// structure. Useful for understanding what the adaptation loops face.
+//
+// Usage:
+//
+//	apparate-trace -workload amazon -n 20000 -qps 30
+//	apparate-trace -workload video-1 -n 12000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wlName = flag.String("workload", "video-0", "workload: video-0..7, amazon, imdb")
+		n      = flag.Int("n", 12000, "number of requests")
+		qps    = flag.Float64("qps", 30, "mean arrival rate")
+		seed   = flag.Uint64("seed", 1, "seed")
+		binSec = flag.Float64("bin", 10, "histogram bin width in seconds")
+	)
+	flag.Parse()
+
+	stream, err := workload.ByName(*wlName, *n, *qps, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	diff := metrics.NewDist(stream.Len())
+	biased := 0
+	for _, r := range stream.Requests {
+		diff.Add(r.Sample.Difficulty)
+		if r.Sample.Bias > 0 {
+			biased++
+		}
+	}
+	last := stream.Requests[stream.Len()-1].ArrivalMS
+	fmt.Printf("workload=%s n=%d span=%.1fs realized_rate=%.1fqps\n",
+		stream.Name, stream.Len(), last/1000, float64(stream.Len())/(last/1000))
+	s := diff.Summarize()
+	fmt.Printf("difficulty: p25=%.3f p50=%.3f p95=%.3f mean=%.3f\n", s.P25, s.Median, s.P95, s.Mean)
+	fmt.Printf("biased requests: %.1f%%\n", float64(biased)/float64(stream.Len())*100)
+
+	// Arrival-rate histogram over time bins.
+	fmt.Println("\narrival rate over time:")
+	bin := *binSec * 1000
+	counts := map[int]int{}
+	maxBin := 0
+	for _, r := range stream.Requests {
+		b := int(r.ArrivalMS / bin)
+		counts[b]++
+		if b > maxBin {
+			maxBin = b
+		}
+	}
+	step := 1
+	if maxBin > 24 {
+		step = maxBin / 24
+	}
+	for b := 0; b <= maxBin; b += step {
+		total := 0
+		for i := b; i < b+step && i <= maxBin; i++ {
+			total += counts[i]
+		}
+		rate := float64(total) / (*binSec * float64(step))
+		bar := int(rate / 2)
+		if bar > 60 {
+			bar = 60
+		}
+		fmt.Printf("%6.0fs %6.1fqps ", float64(b)*(*binSec), rate)
+		for i := 0; i < bar; i++ {
+			fmt.Print("#")
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: register a model with Apparate, serve a video workload,
+// and compare latencies against vanilla serving — the minimal end-to-end
+// use of the public API.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exitsim"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. Pick a model from the zoo. Graph shape and latency profile are
+	// calibrated to the paper's Table 5.
+	m := model.ResNet50()
+
+	// 2. Register it with Apparate: a 1% accuracy constraint and a 2%
+	// ramp budget (the paper's defaults). Apparate finds feasible ramp
+	// sites via cut-vertex analysis and deploys evenly spaced ramps with
+	// zero thresholds — exiting only begins once the runtime controller
+	// has evidence it is safe.
+	sys := core.New(m, exitsim.KindVideo, core.Config{})
+	fmt.Printf("model %s: %d graph operators, %d feasible ramp sites, %d ramps deployed\n",
+		m.Name, m.Graph.Len(), len(sys.Handler.Cfg.Sites), len(sys.Handler.Cfg.Active))
+
+	// 3. Build a workload: one of the eight 30fps videos.
+	stream := workload.Video(0, 10000, 30, 1)
+
+	// 4. Serve it twice: vanilla and with Apparate managing exits.
+	vanilla := sys.ServeVanilla(stream)
+	apparate := sys.Serve(stream)
+
+	vl, al := vanilla.Latencies(), apparate.Latencies()
+	fmt.Printf("\n%-12s %10s %10s %8s\n", "percentile", "vanilla", "apparate", "win")
+	for _, p := range []float64{25, 50, 95} {
+		v, a := vl.Percentile(p), al.Percentile(p)
+		fmt.Printf("p%-11.0f %8.2fms %8.2fms %7.1f%%\n", p, v, a, metrics.WinPercent(v, a))
+	}
+	fmt.Printf("\naccuracy vs original model: %.2f%% (constraint: >= 99%%)\n", apparate.Accuracy*100)
+	fmt.Printf("throughput: vanilla %.1f qps, apparate %.1f qps\n",
+		vanilla.ThroughputQPS, apparate.ThroughputQPS)
+
+	ctl := sys.Controller()
+	fmt.Printf("adaptation: %d threshold-tuning rounds, %d ramp-adjustment rounds\n",
+		ctl.TuneRounds, ctl.AdjustRounds)
+}

@@ -1,0 +1,112 @@
+package baselines
+
+import (
+	"repro/internal/exitsim"
+	"repro/internal/model"
+	"repro/internal/ramp"
+)
+
+// OnlineOptimalHandler is the "more realistic online optimal" of §4.2: it
+// retunes thresholds at chunk granularity (as fast as GPU model
+// definitions can be updated, not per sample), tuning on recent history
+// of {20, 40, 80} batches and — with oracle knowledge — keeping whichever
+// history length performs best on the upcoming chunk.
+type OnlineOptimalHandler struct {
+	Cfg *ramp.Config
+	// stream is the full sample sequence in arrival order (an oracle
+	// baseline may see it upfront).
+	stream    []exitsim.Sample
+	idx       int
+	chunkSize int
+	histories []int
+	accBudget float64
+}
+
+// NewOnlineOptimal deploys Apparate's initial ramp set and prepares the
+// oracle tuner over the given stream.
+func NewOnlineOptimal(m *model.Model, p exitsim.Profile, budgetFrac float64,
+	stream []exitsim.Sample, accBudget float64) *OnlineOptimalHandler {
+	cfg := ramp.NewConfig(m, p, budgetFrac)
+	cfg.DeployInitial(ramp.StyleDefault)
+	return &OnlineOptimalHandler{
+		Cfg:       cfg,
+		stream:    stream,
+		chunkSize: 64,
+		// "Past {20, 40, 80} batches of inputs" (§4.2): at the average
+		// serving batch sizes of these workloads (~6 requests), that is
+		// roughly 120–480 samples.
+		histories: []int{120, 240, 480},
+		accBudget: accBudget,
+	}
+}
+
+// BatchLatency includes the active ramp overheads.
+func (h *OnlineOptimalHandler) BatchLatency(b int) float64 { return h.Cfg.WorstCaseMS(b) }
+
+// Serve evaluates the sample under the current thresholds, retuning at
+// chunk boundaries. Calls must follow stream order (the serving
+// simulator's FIFO dispatch guarantees this).
+func (h *OnlineOptimalHandler) Serve(s exitsim.Sample, b int) ramp.Outcome {
+	if h.idx%h.chunkSize == 0 {
+		h.retune()
+	}
+	h.idx++
+	return h.Cfg.Evaluate(s, b)
+}
+
+func (h *OnlineOptimalHandler) retune() {
+	upTo := h.idx + h.chunkSize
+	if upTo > len(h.stream) {
+		upTo = len(h.stream)
+	}
+	upcoming := h.stream[h.idx:upTo]
+	if len(upcoming) == 0 {
+		return
+	}
+	bestSav := -1.0
+	var bestTS []float64
+	for _, hist := range h.histories {
+		lo := h.idx - hist
+		if lo < 0 {
+			lo = 0
+		}
+		past := h.stream[lo:h.idx]
+		if len(past) == 0 {
+			continue
+		}
+		ts := tunePerRamp(h.Cfg, past, h.accBudget)
+		loss, sav := replay(h.Cfg, upcoming, ts)
+		if loss <= h.accBudget && sav > bestSav {
+			bestSav, bestTS = sav, ts
+		}
+	}
+	if bestTS != nil {
+		h.Cfg.SetThresholds(bestTS)
+		return
+	}
+	// No history-derived configuration meets the constraint on the
+	// upcoming chunk: keep the least-inaccurate one rather than giving
+	// up on exits entirely, mirroring the paper's "performs best on the
+	// upcoming data" selection.
+	bestLoss := 2.0
+	for _, hist := range h.histories {
+		lo := h.idx - hist
+		if lo < 0 {
+			lo = 0
+		}
+		past := h.stream[lo:h.idx]
+		if len(past) == 0 {
+			continue
+		}
+		ts := tunePerRamp(h.Cfg, past, h.accBudget)
+		loss, _ := replay(h.Cfg, upcoming, ts)
+		if loss < bestLoss {
+			bestLoss, bestTS = loss, ts
+		}
+	}
+	if bestTS != nil && bestLoss <= 2*h.accBudget {
+		h.Cfg.SetThresholds(bestTS)
+	} else {
+		h.Cfg.SetThresholds(make([]float64, len(h.Cfg.Active)))
+	}
+}

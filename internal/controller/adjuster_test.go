@@ -1,0 +1,133 @@
+package controller
+
+import (
+	"testing"
+
+	"repro/internal/exitsim"
+	"repro/internal/model"
+	"repro/internal/ramp"
+	"repro/internal/workload"
+)
+
+func TestSentinelRevivesEmptySet(t *testing.T) {
+	cfg := newCfg()
+	ctl := New(cfg, Config{})
+	// Empty the set manually (the invariant is enforced by AdjustRamps,
+	// not by Deactivate).
+	for len(cfg.Active) > 0 {
+		cfg.Deactivate(0)
+	}
+	if !ctl.AdjustRamps() {
+		t.Fatal("AdjustRamps reported no change on an empty set")
+	}
+	if len(cfg.Active) != 1 {
+		t.Fatalf("sentinel seeding produced %d ramps, want 1", len(cfg.Active))
+	}
+	deepest := cfg.Sites[len(cfg.Sites)-1]
+	if cfg.Active[0].Site.NodeID != deepest.NodeID {
+		t.Fatal("sentinel not at the deepest feasible site")
+	}
+	if cfg.Active[0].Threshold != 0 {
+		t.Fatal("sentinel threshold not zero")
+	}
+}
+
+func TestTooCloseSeparation(t *testing.T) {
+	cfg := newCfg()
+	ctl := New(cfg, Config{})
+	// Clear and activate one mid ramp.
+	for len(cfg.Active) > 0 {
+		cfg.Deactivate(0)
+	}
+	mid := cfg.Sites[len(cfg.Sites)/2]
+	if err := cfg.Activate(mid, ramp.StyleDefault); err != nil {
+		t.Fatal(err)
+	}
+	if !ctl.tooClose(mid) {
+		t.Fatal("active site not reported too close to itself")
+	}
+	for _, s := range cfg.Sites {
+		d := s.Frac - mid.Frac
+		if d < 0 {
+			d = -d
+		}
+		if got := ctl.tooClose(s); got != (d < minRampSeparation) {
+			t.Fatalf("tooClose(%v) = %v for distance %v", s.Frac, got, d)
+		}
+	}
+}
+
+func TestLargestGapSiteFindsDeepGap(t *testing.T) {
+	cfg := newCfg()
+	ctl := New(cfg, Config{})
+	// Leave only the two shallowest ramps: the deep half is the gap.
+	for len(cfg.Active) > 2 {
+		cfg.Deactivate(len(cfg.Active) - 1)
+	}
+	site, ok := ctl.largestGapSite()
+	if !ok {
+		t.Fatal("no gap site found")
+	}
+	deepestActive := cfg.Active[len(cfg.Active)-1].Site.Frac
+	if site.Frac <= deepestActive {
+		t.Fatalf("gap site %v not in the deep gap beyond %v", site.Frac, deepestActive)
+	}
+	// Roughly central in the gap.
+	end := cfg.Sites[len(cfg.Sites)-1].Frac
+	mid := (deepestActive + end) / 2
+	if site.Frac < mid-0.2 || site.Frac > mid+0.2 {
+		t.Fatalf("gap site %v far from gap midpoint %v", site.Frac, mid)
+	}
+}
+
+func TestNegativeStreakResetsOnRecovery(t *testing.T) {
+	cfg := newCfg()
+	ctl := New(cfg, Config{})
+	// Run an easy stream so utilities go positive; any streak built
+	// during bootstrap must be cleared.
+	stream := workload.Video(0, 2000, 30, 61)
+	for _, req := range stream.Requests {
+		ctl.Observe(cfg.Evaluate(req.Sample, 1))
+	}
+	for node, streak := range ctl.negStreak {
+		if streak >= 2 {
+			t.Fatalf("node %d kept streak %d through a productive phase", node, streak)
+		}
+	}
+}
+
+func TestAdjustKeepsBudgetThroughChurn(t *testing.T) {
+	// Long mixed stream: every adjustment round must respect the ramp
+	// budget and the 2-ramp floor whenever deactivation ran.
+	m := model.ResNet50()
+	cfg := ramp.NewConfig(m, exitsim.ProfileFor(m, exitsim.KindVideo), 0.02)
+	cfg.DeployInitial(ramp.StyleDefault)
+	ctl := New(cfg, Config{})
+	stream := workload.Video(1, 10000, 30, 62)
+	for _, req := range stream.Requests {
+		ctl.Observe(cfg.Evaluate(req.Sample, 1))
+		if cfg.OverheadFrac() > cfg.BudgetFrac+1e-9 {
+			t.Fatalf("budget exceeded mid-run: %v", cfg.OverheadFrac())
+		}
+		if len(cfg.Active) < 1 {
+			t.Fatal("active set went empty")
+		}
+	}
+}
+
+func TestMinSeparationHoldsAfterAdaptation(t *testing.T) {
+	cfg := newCfg()
+	ctl := New(cfg, Config{})
+	stream := workload.Video(3, 8000, 30, 63)
+	for _, req := range stream.Requests {
+		ctl.Observe(cfg.Evaluate(req.Sample, 1))
+	}
+	// The initial even spacing may be tighter than the separation rule;
+	// ramps *added* by adaptation must not be near-duplicates.
+	for i := 1; i < len(cfg.Active); i++ {
+		d := cfg.Active[i].Site.Frac - cfg.Active[i-1].Site.Frac
+		if d <= 0 {
+			t.Fatalf("active set out of order or duplicated at %d", i)
+		}
+	}
+}

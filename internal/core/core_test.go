@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/exitsim"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/ramp"
+	"repro/internal/workload"
+)
+
+func TestEndToEndClassification(t *testing.T) {
+	sys := New(model.ResNet50(), exitsim.KindVideo, Config{})
+	stream := workload.Video(0, 5000, 30, 41)
+	v := sys.ServeVanilla(stream)
+	a := sys.Serve(stream)
+	if a.Accuracy < 0.98 {
+		t.Fatalf("accuracy %v below constraint margin", a.Accuracy)
+	}
+	win := metrics.WinPercent(v.Latencies().Median(), a.Latencies().Median())
+	if win < 20 {
+		t.Fatalf("median win %v%% too small for an easy CV workload", win)
+	}
+}
+
+func TestEndToEndGenerative(t *testing.T) {
+	g := NewGen(model.T5Large(), exitsim.KindCNNDailyMail, Config{})
+	stream := workload.CNNDailyMail(150, 3, 43)
+	v := g.ServeVanilla(stream)
+	a := g.Serve(stream)
+	if a.MeanScore < 0.98 {
+		t.Fatalf("sequence score %v below constraint margin", a.MeanScore)
+	}
+	if a.TPT().Median() >= v.TPT().Median() {
+		t.Fatal("no TPT improvement")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.AccuracyConstraint != 0.01 || c.RampBudget != 0.02 || c.Style.Name != "default" {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+}
+
+func TestCustomRampStyle(t *testing.T) {
+	sys := New(model.BERTBase(), exitsim.KindAmazon, Config{Style: ramp.StyleDeeBERTPooler})
+	for _, r := range sys.Handler.Cfg.Active {
+		if r.Style.Name != ramp.StyleDeeBERTPooler.Name {
+			t.Fatal("custom ramp style not deployed")
+		}
+	}
+	// Costlier ramps, same budget: fewer of them.
+	def := New(model.BERTBase(), exitsim.KindAmazon, Config{})
+	if len(sys.Handler.Cfg.Active) >= len(def.Handler.Cfg.Active) {
+		t.Fatal("pooler-style deployment not smaller than default")
+	}
+}
+
+func TestSLOOverride(t *testing.T) {
+	sys := New(model.ResNet50(), exitsim.KindVideo, Config{SLOms: 100})
+	if sys.Opts.SLOms != 100 {
+		t.Fatalf("SLO override ignored: %v", sys.Opts.SLOms)
+	}
+	def := New(model.ResNet50(), exitsim.KindVideo, Config{})
+	if def.Opts.SLOms != model.ResNet50().SLO() {
+		t.Fatalf("default SLO wrong: %v", def.Opts.SLOms)
+	}
+}
+
+func TestAblationDisablesAdjustment(t *testing.T) {
+	sys := New(model.ResNet50(), exitsim.KindVideo, Config{DisableRampAdjust: true})
+	stream := workload.Video(0, 2000, 30, 47)
+	sys.Serve(stream)
+	if sys.Controller().AdjustRounds != 0 {
+		t.Fatal("ablation ran ramp adjustment")
+	}
+}

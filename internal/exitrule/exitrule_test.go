@@ -1,0 +1,133 @@
+package exitrule
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEntropyBasics(t *testing.T) {
+	s := Entropy{}.NewState()
+	if s.Decide(0.2, 0.1) {
+		t.Fatal("exited above threshold")
+	}
+	if !s.Decide(0.05, 0.1) {
+		t.Fatal("did not exit below threshold")
+	}
+	if s.Decide(0.0, 0.0) {
+		t.Fatal("threshold 0 must never exit")
+	}
+}
+
+func TestWindowedAveraging(t *testing.T) {
+	s := Windowed{K: 2}.NewState()
+	// First score 0.3 (avg 0.3): no exit at T=0.2.
+	if s.Decide(0.3, 0.2) {
+		t.Fatal("exited on high first score")
+	}
+	// Second score 0.05: avg 0.175 < 0.2 -> exit.
+	if !s.Decide(0.05, 0.2) {
+		t.Fatal("did not exit once the window average cleared")
+	}
+}
+
+func TestWindowedRingEviction(t *testing.T) {
+	s := Windowed{K: 2}.NewState()
+	_ = s.Decide(0.9, 0.0)
+	_ = s.Decide(0.9, 0.0)
+	// The 0.9s must age out of the window of 2.
+	_ = s.Decide(0.05, 0.0)
+	if !s.Decide(0.05, 0.1) {
+		t.Fatal("stale scores were not evicted from the window")
+	}
+}
+
+func TestPatienceCounting(t *testing.T) {
+	s := Patience{P: 2}.NewState()
+	if s.Decide(0.01, 0.1) {
+		t.Fatal("exited before patience was met")
+	}
+	if !s.Decide(0.01, 0.1) {
+		t.Fatal("did not exit after P consecutive clears")
+	}
+}
+
+func TestPatienceResetsOnFailure(t *testing.T) {
+	s := Patience{P: 2}.NewState()
+	_ = s.Decide(0.01, 0.1) // clear 1
+	_ = s.Decide(0.5, 0.1)  // reset
+	if s.Decide(0.01, 0.1) {
+		t.Fatal("counter did not reset after a failed ramp")
+	}
+	if !s.Decide(0.01, 0.1) {
+		t.Fatal("did not exit after re-accumulating patience")
+	}
+}
+
+func TestPatienceStricterThanEntropy(t *testing.T) {
+	// Property: for the same score sequence and thresholds, patience
+	// exits no earlier than entropy.
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		ent := Entropy{}.NewState()
+		pat := Patience{P: 2}.NewState()
+		entExit, patExit := -1, -1
+		for i := 0; i < 10; i++ {
+			e := r.Float64()
+			th := r.Float64() * 0.5
+			if entExit < 0 && ent.Decide(e, th) {
+				entExit = i
+			}
+			if patExit < 0 && pat.Decide(e, th) {
+				patExit = i
+			}
+		}
+		if patExit >= 0 && entExit < 0 {
+			return false // patience exited where entropy never did
+		}
+		return entExit < 0 || patExit < 0 || patExit >= entExit
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	cases := map[string]string{
+		"":           "entropy",
+		"entropy":    "entropy",
+		"windowed-3": "windowed-3",
+		"patience-2": "patience-2",
+	}
+	for in, want := range cases {
+		r, err := ByName(in)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", in, err)
+		}
+		if r.Name() != want {
+			t.Fatalf("ByName(%q) = %q, want %q", in, r.Name(), want)
+		}
+	}
+	for _, bad := range []string{"softmax", "windowed-0", "patience--1"} {
+		if _, err := ByName(bad); err == nil {
+			t.Fatalf("ByName(%q) accepted", bad)
+		}
+	}
+}
+
+func TestConstructorsPanicOnBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { Windowed{K: 0}.NewState() },
+		func() { Patience{P: 0}.NewState() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad parameter did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

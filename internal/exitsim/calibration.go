@@ -1,0 +1,91 @@
+package exitsim
+
+import (
+	"math"
+
+	"repro/internal/model"
+)
+
+// Kind identifies a workload class for calibration purposes.
+type Kind int
+
+// Workload kinds from §4.1.
+const (
+	KindVideo        Kind = iota // real-time object classification on video
+	KindAmazon                   // Amazon product reviews, category-ordered
+	KindIMDB                     // IMDB reviews streamed sentence by sentence
+	KindCNNDailyMail             // text summarization (generative)
+	KindSQuAD                    // question answering (generative)
+)
+
+// String returns the workload-kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindVideo:
+		return "video"
+	case KindAmazon:
+		return "amazon"
+	case KindIMDB:
+		return "imdb"
+	case KindCNNDailyMail:
+		return "cnn-dailymail"
+	case KindSQuAD:
+		return "squad"
+	}
+	return "unknown"
+}
+
+// IsGenerative reports whether the kind is a generative workload.
+func (k Kind) IsGenerative() bool {
+	return k == KindCNNDailyMail || k == KindSQuAD
+}
+
+// ProfileFor returns the calibrated exit profile for a model-workload
+// pair. Calibration encodes the paper's empirical observations:
+//
+//   - CV: task performance is similar across family members, so ramps can
+//     sit early even in larger models (§4.2); capability rises fast with
+//     depth (small Gamma), and relative wins grow with model size.
+//   - NLP classification: capability accrues later (larger Gamma) and
+//     ramps fall at similar relative positions across sizes.
+//   - Generative: token-level exits are plentiful (auto-regressive
+//     continuity), with capability between the CV and NLP extremes.
+//   - Quantization reduces overparameterization, so the quantized BERTs
+//     have uniformly lower capability (mildly fewer exits, §4.2).
+func ProfileFor(m *model.Model, k Kind) Profile {
+	var p Profile
+	switch {
+	case m.Family.IsCV():
+		// Larger CV models keep similar absolute capability needs, so
+		// their *relative* exit depths shrink: scale Gamma down slightly
+		// with block count (resnet18 → resnet101 median wins grow 13.8%).
+		size := math.Min(1, 16/float64(m.NumBlocks+4))
+		p = Profile{CMax: 0.95, Gamma: 0.16 + 0.08*size, Steep: 25, NoiseSigma: 0.02}
+	case m.Family == model.FamilyT5:
+		// T5's decode head doubles as the ramp (§3.1), and summarization
+		// tokens exit very early — the paper's 70–78% TPT wins.
+		p = Profile{CMax: 0.96, Gamma: 0.22, Steep: 25, NoiseSigma: 0.02}
+	case m.Family == model.FamilyLlama:
+		// Llama exits later; wins grow with model size (22.6% at 7B to
+		// 37.4% at 13B), so larger members get relatively earlier
+		// capability like the CV families.
+		size := math.Min(1, 32/float64(m.NumBlocks))
+		p = Profile{CMax: 0.92, Gamma: 1.15 + (size-0.8)*4.25, Steep: 25, NoiseSigma: 0.02}
+	default:
+		// Encoder/decoder NLP classifiers.
+		p = Profile{CMax: 0.92, Gamma: 0.52, Steep: 25, NoiseSigma: 0.025}
+	}
+	if m.Quantized {
+		p.CMax -= 0.05
+	}
+	switch k {
+	case KindIMDB:
+		// Sentence-level inputs are shorter and slightly easier than
+		// full reviews.
+		p.CMax = math.Min(0.97, p.CMax+0.02)
+	case KindSQuAD:
+		// Extractive QA tokens are easier than abstractive summaries.
+		p.CMax = math.Min(0.97, p.CMax+0.01)
+	}
+	return p
+}

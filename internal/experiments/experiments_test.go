@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig4", "fig5", "fig8", "fig9", "fig10",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"table1", "table2", "table3", "table4", "table5",
+		"quant", "rampstyle", "ablation",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99"); err == nil {
+		t.Fatal("Run accepted an unknown experiment")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := Table{ID: "x", Title: "t", Header: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}}
+	s := tb.String()
+	if !strings.Contains(s, "== x: t ==") || !strings.Contains(s, "bb") {
+		t.Fatalf("bad rendering:\n%s", s)
+	}
+}
+
+// parsePct extracts the numeric part of a "12.3%" cell.
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q not a percentage: %v", cell, err)
+	}
+	return v
+}
+
+func parseF(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q not a float: %v", cell, err)
+	}
+	return v
+}
+
+func rowsFor(t *testing.T, id string) []Table {
+	t.Helper()
+	tabs, err := Run(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) == 0 || len(tabs[0].Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	return tabs
+}
+
+func TestFig1Tension(t *testing.T) {
+	tabs := rowsFor(t, "fig1")
+	// Within each model: latency and throughput both rise with batch.
+	var prevModel string
+	var prevLat, prevTput float64
+	for _, row := range tabs[0].Rows {
+		lat, tput := parseF(t, row[2]), parseF(t, row[3])
+		if row[0] == prevModel {
+			if lat <= prevLat {
+				t.Errorf("%s: latency not increasing with batch", row[0])
+			}
+			if tput <= prevTput {
+				t.Errorf("%s: throughput not increasing with batch", row[0])
+			}
+		}
+		prevModel, prevLat, prevTput = row[0], lat, tput
+	}
+}
+
+func TestTable5MatchesPaper(t *testing.T) {
+	tabs := rowsFor(t, "table5")
+	if len(tabs[0].Rows) != 10 {
+		t.Fatalf("table5 has %d rows, want 10", len(tabs[0].Rows))
+	}
+	for _, row := range tabs[0].Rows {
+		if row[0] == "gpt2-medium" && row[1] != "103.0" {
+			t.Errorf("gpt2 latency %s, want 103.0", row[1])
+		}
+	}
+}
+
+func TestFig10GreedyFastAndClose(t *testing.T) {
+	tabs := rowsFor(t, "fig10")
+	for _, row := range tabs[0].Rows {
+		gap := parsePct(t, row[4])
+		if gap > 10 {
+			t.Errorf("ramps=%s: optimality gap %s too large", row[0], row[4])
+		}
+		greedy, grid := parseF(t, row[1]), parseF(t, row[2])
+		if greedy >= grid {
+			t.Errorf("ramps=%s: greedy (%vms) not faster than grid (%vms)", row[0], greedy, grid)
+		}
+	}
+}
+
+func TestFig19MonotoneInConstraint(t *testing.T) {
+	tabs := rowsFor(t, "fig19")
+	// Within each model, wins must not shrink as the constraint loosens.
+	byModel := map[string][]float64{}
+	var order []string
+	for _, row := range tabs[0].Rows {
+		if _, ok := byModel[row[0]]; !ok {
+			order = append(order, row[0])
+		}
+		byModel[row[0]] = append(byModel[row[0]], parsePct(t, row[2]))
+	}
+	for _, m := range order {
+		wins := byModel[m]
+		for i := 1; i < len(wins); i++ {
+			if wins[i] < wins[i-1]-2 { // small tolerance for run noise
+				t.Errorf("%s: win dropped from %v to %v as constraint loosened", m, wins[i-1], wins[i])
+			}
+		}
+	}
+}
+
+func TestTable3MonotoneInBudget(t *testing.T) {
+	tabs := rowsFor(t, "table3")
+	var prevR, prevG float64
+	for i, row := range tabs[0].Rows {
+		r, g := parsePct(t, row[1]), parsePct(t, row[2])
+		if i > 0 {
+			// Budgets show diminishing returns; allow small inversions
+			// from adaptation variance, never large regressions.
+			if r < prevR-5 || g < prevG-5 {
+				t.Errorf("budget %s: wins shrank (%v->%v, %v->%v)", row[0], prevR, r, prevG, g)
+			}
+		}
+		prevR, prevG = r, g
+	}
+}

@@ -1,0 +1,232 @@
+// Package genserve simulates generative LLM serving (§3.4, §4.3):
+// continuous batching over a fixed pool of decode slots, per-token early
+// exits between decoder blocks, and the synchronized parallel-decoding
+// mechanism that recovers exit savings despite auto-regressive KV
+// dependencies — an exited token's remaining layers run batched alongside
+// the next non-exiting token (or a periodic flush), so time-per-token
+// (TPT) improves for exiting tokens at a mild penalty for the flusher.
+package genserve
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/exitsim"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// TokenResult records one generated token.
+type TokenResult struct {
+	// TPTms is the time between this token's emission and the previous
+	// one's (time-per-token).
+	TPTms float64
+	// Exited reports whether the token's result left at a ramp.
+	Exited bool
+	// Match reports whether the released token equals the original
+	// model's token (non-exits always match).
+	Match bool
+}
+
+// SeqResult is one completed sequence.
+type SeqResult struct {
+	Request workload.GenRequest
+	StartMS float64
+	DoneMS  float64
+	Tokens  []TokenResult
+	// MatchRate is the fraction of released tokens agreeing with the
+	// original model — the proxy behind the ROUGE-L / F1 sequence
+	// scores.
+	MatchRate float64
+}
+
+// Stats aggregates a generative run.
+type Stats struct {
+	Seqs []SeqResult
+	// MeanMatchRate averages sequence match rates (1.0 = the original
+	// model's output exactly).
+	MeanMatchRate float64
+	// MeanScore averages the ROUGE-L / F1 proxy across sequences.
+	MeanScore float64
+}
+
+// ScoreFromMatchRate maps a token match rate to a sequence-quality score
+// in the spirit of ROUGE-L / F1: sequence metrics are concave in token
+// agreement (a few divergent tokens barely move the score), which is why
+// the paper notes that sequence-level accuracy "grants more flexibility
+// for exiting decisions at individual tokens" (§4.3).
+func ScoreFromMatchRate(r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	return math.Sqrt(r)
+}
+
+// TokenBudget converts a sequence-score accuracy budget into the
+// token-level mismatch budget the adaptation loops enforce. With
+// score = sqrt(rate) a score loss of b tolerates a token-rate loss of
+// 1-(1-b)^2 ≈ 2b; the budget keeps a safety margin below that bound so
+// transients (drift between tuning rounds) stay inside the constraint.
+func TokenBudget(seqBudget float64) float64 {
+	b := 1.5 * seqBudget
+	if b > 1 {
+		b = 1
+	}
+	return b
+}
+
+// TPT returns the time-per-token distribution across every token of
+// every sequence.
+func (s *Stats) TPT() *metrics.Dist {
+	d := metrics.NewDist(4096)
+	for _, seq := range s.Seqs {
+		for _, tk := range seq.Tokens {
+			d.Add(tk.TPTms)
+		}
+	}
+	return d
+}
+
+// Policy decides, per token, whether and where the token exits.
+type Policy interface {
+	// Decide returns the exit depth fraction for this token's sample and
+	// whether the released token matches the oracle; exit=false means a
+	// full pass. overheadFrac is the ramp overhead the token pays.
+	Decide(s exitsim.Sample) (exit bool, depth, overheadFrac float64, match bool)
+	// ObserveFlush tells the policy a parallel-decoding instance ended
+	// (feedback boundary, §3.4).
+	ObserveFlush()
+}
+
+// Engine runs generative serving simulations.
+type Engine struct {
+	Model   *model.Model
+	Profile exitsim.Profile
+	// MaxConcurrent is the continuous-batching slot count; arrivals are
+	// configured to saturate it (§4.1), so decode steps run at this
+	// batch size.
+	MaxConcurrent int
+	// FlushCount flushes accumulated exited tokens after this many even
+	// without a non-exiting token (bounds KV-state lag, §4.4).
+	FlushCount int
+}
+
+// NewEngine returns an engine with the paper's defaults.
+func NewEngine(m *model.Model, p exitsim.Profile) *Engine {
+	return &Engine{Model: m, Profile: p, MaxConcurrent: 8, FlushCount: 8}
+}
+
+// batchFactor is the decode-step slowdown at the saturated batch size.
+func (e *Engine) batchFactor() float64 {
+	return 1 + e.Model.BatchBeta*float64(e.MaxConcurrent-1)
+}
+
+// stepMS is the full decode-step latency at saturation.
+func (e *Engine) stepMS() float64 { return e.Model.BaseLatencyMS * e.batchFactor() }
+
+// prefillMS estimates prompt processing time: parallel over prompt
+// tokens, far cheaper per token than decoding.
+func (e *Engine) prefillMS(promptLen int) float64 {
+	return e.Model.BaseLatencyMS * (0.5 + float64(promptLen)/512)
+}
+
+// decodeSequence simulates one sequence under the policy, returning the
+// per-token results and the total decode duration.
+func (e *Engine) decodeSequence(req workload.GenRequest, pol Policy) ([]TokenResult, float64) {
+	sampler := workload.NewTokenSampler(req)
+	step := e.stepMS()
+	tokens := make([]TokenResult, 0, req.GenLen)
+	pending := 0 // exited tokens awaiting their remaining layers
+	var pendingDepth float64
+	total := 0.0
+	for i := 0; i < req.GenLen; i++ {
+		s := sampler.Next()
+		exit, depth, ohFrac, match := pol.Decide(s)
+		var tpt float64
+		if exit {
+			// Result released at the ramp; remaining layers deferred.
+			tpt = depth*step + ohFrac*step
+			pending++
+			pendingDepth = depth
+			if pending >= e.FlushCount {
+				// Standalone flush: remaining layers for the batch of
+				// pending tokens run now, delaying the next token.
+				tpt += (1 - pendingDepth) * step * (1 + e.Model.BatchBeta*float64(pending-1)) / float64(pending)
+				pending = 0
+				pol.ObserveFlush()
+			}
+		} else {
+			// Full pass, catching up the pending tokens' remaining
+			// layers batched alongside (mild penalty, §3.4).
+			catchup := 0.0
+			if pending > 0 {
+				catchup = (1 - pendingDepth) * step * e.Model.BatchBeta * float64(pending)
+				pending = 0
+				pol.ObserveFlush()
+			}
+			tpt = step + ohFrac*step + catchup
+		}
+		tokens = append(tokens, TokenResult{TPTms: tpt, Exited: exit, Match: match})
+		total += tpt
+	}
+	if pending > 0 {
+		pol.ObserveFlush()
+	}
+	return tokens, total
+}
+
+// slotHeap tracks per-slot free times.
+type slotHeap []float64
+
+func (h slotHeap) Len() int            { return len(h) }
+func (h slotHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *slotHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *slotHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Run serves the generative stream with the policy.
+func (e *Engine) Run(stream *workload.GenStream, pol Policy) *Stats {
+	slots := make(slotHeap, e.MaxConcurrent)
+	heap.Init(&slots)
+	stats := &Stats{Seqs: make([]SeqResult, 0, stream.Len())}
+	sumRate := 0.0
+	sumScore := 0.0
+	for _, req := range stream.Requests {
+		free := heap.Pop(&slots).(float64)
+		start := req.ArrivalMS
+		if free > start {
+			start = free
+		}
+		tokens, decodeMS := e.decodeSequence(req, pol)
+		done := start + e.prefillMS(req.PromptLen) + decodeMS
+		heap.Push(&slots, done)
+		match := 0
+		for _, tk := range tokens {
+			if tk.Match {
+				match++
+			}
+		}
+		rate := 1.0
+		if len(tokens) > 0 {
+			rate = float64(match) / float64(len(tokens))
+		}
+		sumRate += rate
+		sumScore += ScoreFromMatchRate(rate)
+		stats.Seqs = append(stats.Seqs, SeqResult{
+			Request: req, StartMS: start, DoneMS: done,
+			Tokens: tokens, MatchRate: rate,
+		})
+	}
+	if len(stats.Seqs) > 0 {
+		stats.MeanMatchRate = sumRate / float64(len(stats.Seqs))
+		stats.MeanScore = sumScore / float64(len(stats.Seqs))
+	}
+	return stats
+}

@@ -1,0 +1,65 @@
+package genserve
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScoreFromMatchRateBounds(t *testing.T) {
+	if got := ScoreFromMatchRate(1); got != 1 {
+		t.Fatalf("score(1) = %v, want 1", got)
+	}
+	if got := ScoreFromMatchRate(0); got != 0 {
+		t.Fatalf("score(0) = %v, want 0", got)
+	}
+	if got := ScoreFromMatchRate(-0.5); got != 0 {
+		t.Fatalf("score(-0.5) = %v, want 0", got)
+	}
+}
+
+func TestScoreConcave(t *testing.T) {
+	// Sequence metrics are forgiving of small token divergence: the
+	// score must sit above the match rate on (0, 1).
+	check := func(raw uint16) bool {
+		r := float64(raw%999+1) / 1000 // (0, 1)
+		s := ScoreFromMatchRate(r)
+		return s >= r && s <= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreMonotone(t *testing.T) {
+	prev := -1.0
+	for r := 0.0; r <= 1.0; r += 0.01 {
+		s := ScoreFromMatchRate(r)
+		if s < prev {
+			t.Fatalf("score not monotone at rate %v", r)
+		}
+		prev = s
+	}
+}
+
+func TestTokenBudgetConsistentWithScore(t *testing.T) {
+	// A match-rate loss equal to TokenBudget(b) must produce a score
+	// loss of at most ~b (the budget carries a safety margin relative
+	// to the exact inverse).
+	for _, b := range []float64{0.005, 0.01, 0.02, 0.05} {
+		rate := 1 - TokenBudget(b)
+		scoreLoss := 1 - ScoreFromMatchRate(rate)
+		if scoreLoss > b+1e-9 {
+			t.Fatalf("budget %v: score loss %v exceeds the sequence budget", b, scoreLoss)
+		}
+	}
+}
+
+func TestTokenBudgetCapped(t *testing.T) {
+	if got := TokenBudget(0.9); got != 1 {
+		t.Fatalf("TokenBudget(0.9) = %v, want capped at 1", got)
+	}
+	if math.Abs(TokenBudget(0.01)-0.015) > 1e-12 {
+		t.Fatalf("TokenBudget(0.01) = %v, want 0.015", TokenBudget(0.01))
+	}
+}

@@ -1,0 +1,241 @@
+// Package metrics provides the latency and accuracy bookkeeping used by
+// the serving simulator and the experiment harness: exact percentile
+// computation over collected samples, CDF extraction, sliding accuracy
+// windows, and latency-win summaries in the format the paper reports.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dist collects float64 samples (latencies in milliseconds, unless stated
+// otherwise) and answers exact order-statistic queries. The zero value is
+// an empty, usable distribution.
+type Dist struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewDist returns an empty distribution with the given capacity hint.
+func NewDist(capacity int) *Dist {
+	return &Dist{samples: make([]float64, 0, capacity)}
+}
+
+// Add appends one sample.
+func (d *Dist) Add(v float64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+}
+
+// AddAll appends all samples.
+func (d *Dist) AddAll(vs []float64) {
+	d.samples = append(d.samples, vs...)
+	d.sorted = false
+}
+
+// Len reports the number of samples collected.
+func (d *Dist) Len() int { return len(d.samples) }
+
+func (d *Dist) ensureSorted() {
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) using linear
+// interpolation between closest ranks. It panics on an empty distribution
+// or out-of-range p: both indicate harness bugs, not runtime conditions.
+func (d *Dist) Percentile(p float64) float64 {
+	if len(d.samples) == 0 {
+		panic("metrics: Percentile of empty distribution")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of [0,100]", p))
+	}
+	d.ensureSorted()
+	if len(d.samples) == 1 {
+		return d.samples[0]
+	}
+	rank := p / 100 * float64(len(d.samples)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return d.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return d.samples[lo]*(1-frac) + d.samples[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (d *Dist) Median() float64 { return d.Percentile(50) }
+
+// Mean returns the arithmetic mean. It panics on an empty distribution.
+func (d *Dist) Mean() float64 {
+	if len(d.samples) == 0 {
+		panic("metrics: Mean of empty distribution")
+	}
+	sum := 0.0
+	for _, v := range d.samples {
+		sum += v
+	}
+	return sum / float64(len(d.samples))
+}
+
+// Min returns the smallest sample.
+func (d *Dist) Min() float64 {
+	if len(d.samples) == 0 {
+		panic("metrics: Min of empty distribution")
+	}
+	d.ensureSorted()
+	return d.samples[0]
+}
+
+// Max returns the largest sample.
+func (d *Dist) Max() float64 {
+	if len(d.samples) == 0 {
+		panic("metrics: Max of empty distribution")
+	}
+	d.ensureSorted()
+	return d.samples[len(d.samples)-1]
+}
+
+// CDFPoint is one point on an empirical CDF.
+type CDFPoint struct {
+	Value    float64 // sample value
+	Fraction float64 // fraction of samples <= Value
+}
+
+// CDF returns the empirical CDF downsampled to at most points entries
+// (plus the final point). points must be >= 2.
+func (d *Dist) CDF(points int) []CDFPoint {
+	if points < 2 {
+		panic("metrics: CDF needs at least 2 points")
+	}
+	if len(d.samples) == 0 {
+		return nil
+	}
+	d.ensureSorted()
+	n := len(d.samples)
+	out := make([]CDFPoint, 0, points)
+	for i := 0; i < points; i++ {
+		idx := i * (n - 1) / (points - 1)
+		out = append(out, CDFPoint{
+			Value:    d.samples[idx],
+			Fraction: float64(idx+1) / float64(n),
+		})
+	}
+	return out
+}
+
+// Summary is the (median, p25, p95, mean) tuple the paper's figures report.
+type Summary struct {
+	Count  int
+	Mean   float64
+	P25    float64
+	Median float64
+	P95    float64
+	P99    float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary. It panics on an empty distribution.
+func (d *Dist) Summarize() Summary {
+	return Summary{
+		Count:  d.Len(),
+		Mean:   d.Mean(),
+		P25:    d.Percentile(25),
+		Median: d.Median(),
+		P95:    d.Percentile(95),
+		P99:    d.Percentile(99),
+		Min:    d.Min(),
+		Max:    d.Max(),
+	}
+}
+
+// WinPercent reports the relative improvement of got over base at a given
+// quantile, in percent: positive means got is faster (smaller).
+func WinPercent(base, got float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - got) / base * 100
+}
+
+// AccuracyWindow maintains a sliding window of boolean accuracy outcomes
+// (did the released result match the original model's output?) and reports
+// the windowed accuracy. This is the trigger signal for threshold tuning
+// (§3.2: "average achieved accuracy over the past 16 samples").
+type AccuracyWindow struct {
+	size    int
+	buf     []bool
+	next    int
+	filled  int
+	correct int
+}
+
+// NewAccuracyWindow returns a window over the past size outcomes.
+// size must be positive.
+func NewAccuracyWindow(size int) *AccuracyWindow {
+	if size <= 0 {
+		panic("metrics: AccuracyWindow size must be positive")
+	}
+	return &AccuracyWindow{size: size, buf: make([]bool, size)}
+}
+
+// Observe records one outcome.
+func (w *AccuracyWindow) Observe(correct bool) {
+	if w.filled == w.size {
+		if w.buf[w.next] {
+			w.correct--
+		}
+	} else {
+		w.filled++
+	}
+	w.buf[w.next] = correct
+	if correct {
+		w.correct++
+	}
+	w.next = (w.next + 1) % w.size
+}
+
+// Accuracy reports the fraction of correct outcomes in the window.
+// It returns 1.0 before any outcome is observed (no evidence of loss).
+func (w *AccuracyWindow) Accuracy() float64 {
+	if w.filled == 0 {
+		return 1.0
+	}
+	return float64(w.correct) / float64(w.filled)
+}
+
+// Full reports whether the window has observed at least size outcomes.
+func (w *AccuracyWindow) Full() bool { return w.filled == w.size }
+
+// Reset empties the window.
+func (w *AccuracyWindow) Reset() {
+	w.next, w.filled, w.correct = 0, 0, 0
+}
+
+// Counter tracks a running total with a count, for mean throughput-style
+// metrics.
+type Counter struct {
+	Sum   float64
+	Count int
+}
+
+// Add records one observation.
+func (c *Counter) Add(v float64) {
+	c.Sum += v
+	c.Count++
+}
+
+// Mean returns Sum/Count, or 0 when empty.
+func (c *Counter) Mean() float64 {
+	if c.Count == 0 {
+		return 0
+	}
+	return c.Sum / float64(c.Count)
+}

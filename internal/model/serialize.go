@@ -1,0 +1,127 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file provides a graph-exchange format in the spirit of ONNX/NNEF
+// (§2.1: platforms ingest pre-trained models "in graph exchange formats
+// like ONNX"): a self-contained JSON document with the operator graph,
+// edges, and the latency/metadata profile Apparate's preparation phase
+// consumes. Round-tripping a model through Export/Import preserves its
+// analysis results (cut vertices, feasible ramps, prefix fractions).
+
+// wireModel is the serialized form.
+type wireModel struct {
+	FormatVersion int        `json:"format_version"`
+	Name          string     `json:"name"`
+	Family        string     `json:"family"`
+	Params        int64      `json:"params"`
+	BaseLatencyMS float64    `json:"base_latency_ms"`
+	BatchBeta     float64    `json:"batch_beta"`
+	Generative    bool       `json:"generative"`
+	Quantized     bool       `json:"quantized"`
+	NumBlocks     int        `json:"num_blocks"`
+	Nodes         []wireNode `json:"nodes"`
+	Edges         [][2]int   `json:"edges"`
+}
+
+type wireNode struct {
+	Name    string  `json:"name"`
+	Kind    string  `json:"kind"`
+	LatFrac float64 `json:"lat_frac"`
+	Block   int     `json:"block"`
+}
+
+const formatVersion = 1
+
+var kindByName = func() map[string]OpKind {
+	m := make(map[string]OpKind, len(opNames))
+	for k, n := range opNames {
+		m[n] = k
+	}
+	return m
+}()
+
+var familyByName = func() map[string]Family {
+	m := make(map[string]Family, len(familyNames))
+	for f, n := range familyNames {
+		m[n] = f
+	}
+	return m
+}()
+
+// Export writes the model to w in the exchange format.
+func Export(m *Model, w io.Writer) error {
+	wm := wireModel{
+		FormatVersion: formatVersion,
+		Name:          m.Name,
+		Family:        m.Family.String(),
+		Params:        m.Params,
+		BaseLatencyMS: m.BaseLatencyMS,
+		BatchBeta:     m.BatchBeta,
+		Generative:    m.Generative,
+		Quantized:     m.Quantized,
+		NumBlocks:     m.NumBlocks,
+	}
+	for _, n := range m.Graph.Nodes {
+		wm.Nodes = append(wm.Nodes, wireNode{
+			Name: n.Name, Kind: n.Kind.String(), LatFrac: n.LatFrac, Block: n.Block,
+		})
+	}
+	for id := range m.Graph.Nodes {
+		for _, s := range m.Graph.Succ(id) {
+			wm.Edges = append(wm.Edges, [2]int{id, s})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(wm)
+}
+
+// Import reads a model from the exchange format and validates it.
+func Import(r io.Reader) (*Model, error) {
+	var wm wireModel
+	if err := json.NewDecoder(r).Decode(&wm); err != nil {
+		return nil, fmt.Errorf("model: decoding exchange document: %w", err)
+	}
+	if wm.FormatVersion != formatVersion {
+		return nil, fmt.Errorf("model: unsupported format version %d (want %d)",
+			wm.FormatVersion, formatVersion)
+	}
+	fam, ok := familyByName[wm.Family]
+	if !ok {
+		return nil, fmt.Errorf("model: unknown family %q", wm.Family)
+	}
+	g := NewGraph()
+	for _, n := range wm.Nodes {
+		kind, ok := kindByName[n.Kind]
+		if !ok {
+			return nil, fmt.Errorf("model: unknown operator kind %q", n.Kind)
+		}
+		g.AddNode(n.Name, kind, n.LatFrac, n.Block)
+	}
+	for _, e := range wm.Edges {
+		if e[0] < 0 || e[0] >= g.Len() || e[1] < 0 || e[1] >= g.Len() {
+			return nil, fmt.Errorf("model: edge %v out of range", e)
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	m := &Model{
+		Name:          wm.Name,
+		Family:        fam,
+		Graph:         g,
+		Params:        wm.Params,
+		BaseLatencyMS: wm.BaseLatencyMS,
+		BatchBeta:     wm.BatchBeta,
+		Generative:    wm.Generative,
+		Quantized:     wm.Quantized,
+		NumBlocks:     wm.NumBlocks,
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("model: imported model invalid: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,87 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	for _, m := range All() {
+		var buf bytes.Buffer
+		if err := Export(m, &buf); err != nil {
+			t.Fatalf("%s: export: %v", m.Name, err)
+		}
+		got, err := Import(&buf)
+		if err != nil {
+			t.Fatalf("%s: import: %v", m.Name, err)
+		}
+		if got.Name != m.Name || got.Family != m.Family || got.Params != m.Params ||
+			got.BaseLatencyMS != m.BaseLatencyMS || got.BatchBeta != m.BatchBeta ||
+			got.Generative != m.Generative || got.Quantized != m.Quantized ||
+			got.NumBlocks != m.NumBlocks {
+			t.Fatalf("%s: metadata mismatch after round trip", m.Name)
+		}
+		if got.Graph.Len() != m.Graph.Len() {
+			t.Fatalf("%s: node count %d != %d", m.Name, got.Graph.Len(), m.Graph.Len())
+		}
+		// Analysis results must be preserved: same feasible ramp sites.
+		a, b := m.FeasibleRamps(), got.FeasibleRamps()
+		if len(a) != len(b) {
+			t.Fatalf("%s: feasible ramp count changed: %d -> %d", m.Name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: ramp site %d changed: %+v -> %+v", m.Name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	if _, err := Import(strings.NewReader("not json")); err == nil {
+		t.Fatal("accepted non-JSON input")
+	}
+}
+
+func TestImportRejectsWrongVersion(t *testing.T) {
+	doc := `{"format_version": 99, "name": "x", "family": "resnet", "nodes": [], "edges": []}`
+	if _, err := Import(strings.NewReader(doc)); err == nil {
+		t.Fatal("accepted unknown format version")
+	}
+}
+
+func TestImportRejectsUnknownKind(t *testing.T) {
+	doc := `{"format_version": 1, "name": "x", "family": "resnet", "base_latency_ms": 1,
+		"nodes": [{"name":"a","kind":"Teleport","lat_frac":1,"block":0}], "edges": []}`
+	if _, err := Import(strings.NewReader(doc)); err == nil {
+		t.Fatal("accepted unknown operator kind")
+	}
+}
+
+func TestImportRejectsUnknownFamily(t *testing.T) {
+	doc := `{"format_version": 1, "name": "x", "family": "rnn", "nodes": [], "edges": []}`
+	if _, err := Import(strings.NewReader(doc)); err == nil {
+		t.Fatal("accepted unknown family")
+	}
+}
+
+func TestImportRejectsOutOfRangeEdge(t *testing.T) {
+	doc := `{"format_version": 1, "name": "x", "family": "vgg", "base_latency_ms": 1,
+		"nodes": [{"name":"a","kind":"Conv","lat_frac":1,"block":0}], "edges": [[0, 5]]}`
+	if _, err := Import(strings.NewReader(doc)); err == nil {
+		t.Fatal("accepted out-of-range edge")
+	}
+}
+
+func TestImportValidatesGraph(t *testing.T) {
+	// Two sources: invalid model graph must be rejected.
+	doc := `{"format_version": 1, "name": "x", "family": "vgg", "base_latency_ms": 1,
+		"nodes": [
+			{"name":"a","kind":"Conv","lat_frac":0.5,"block":0},
+			{"name":"b","kind":"Conv","lat_frac":0.5,"block":0}
+		], "edges": []}`
+	if _, err := Import(strings.NewReader(doc)); err == nil {
+		t.Fatal("accepted a disconnected graph")
+	}
+}

@@ -1,0 +1,217 @@
+// Package profile implements Apparate's one-time model profiling
+// (§3.3): the per-ramp latency overhead and the layer-wise breakdown of
+// inference time at each batch size, which the ramp adjuster needs to
+// price savings and overheads ("latency characteristics vary across
+// models but govern the impact of exits"). It also accounts GPU memory —
+// ramps must be resident, and memory is "an increasingly precious
+// resource" (§2.3-C1).
+//
+// Profiles are collected once per model during bootstrap and optionally
+// persisted, mirroring the paper's workflow where the controller keeps
+// them alongside the ramp definitions.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/ramp"
+)
+
+// LayerTiming is the profiled execution time of one graph operator.
+type LayerTiming struct {
+	NodeID int
+	Name   string
+	// MS is the operator's execution time at each profiled batch size.
+	MS map[int]float64
+	// CumulativeMS is the prefix time through this operator, batch 1.
+	CumulativeMS float64
+}
+
+// Profile is a model's one-time profiling record.
+type Profile struct {
+	ModelName string
+	// BatchSizes profiled (the paper profiles "different batch sizes").
+	BatchSizes []int
+	// Layers in topological order.
+	Layers []LayerTiming
+	// NetworkDelayMS is the added delay per stage boundary under
+	// distributed serving (0 for single-node).
+	NetworkDelayMS float64
+}
+
+// Collect profiles a model at the given batch sizes. Batch sizes must be
+// positive and non-empty.
+func Collect(m *model.Model, batchSizes []int, networkDelayMS float64) (*Profile, error) {
+	if len(batchSizes) == 0 {
+		return nil, fmt.Errorf("profile: no batch sizes given")
+	}
+	for _, b := range batchSizes {
+		if b < 1 {
+			return nil, fmt.Errorf("profile: invalid batch size %d", b)
+		}
+	}
+	sorted := append([]int(nil), batchSizes...)
+	sort.Ints(sorted)
+
+	order := m.Graph.TopoOrder()
+	if order == nil {
+		return nil, fmt.Errorf("profile: model graph is cyclic")
+	}
+	p := &Profile{
+		ModelName:      m.Name,
+		BatchSizes:     sorted,
+		NetworkDelayMS: networkDelayMS,
+		Layers:         make([]LayerTiming, 0, len(order)),
+	}
+	cum := 0.0
+	for _, id := range order {
+		n := m.Graph.Nodes[id]
+		lt := LayerTiming{NodeID: id, Name: n.Name, MS: make(map[int]float64, len(sorted))}
+		for _, b := range sorted {
+			lt.MS[b] = n.LatFrac * m.Latency(b)
+		}
+		cum += n.LatFrac * m.Latency(1)
+		lt.CumulativeMS = cum
+		p.Layers = append(p.Layers, lt)
+	}
+	return p, nil
+}
+
+// PrefixMS returns the time from batch start until node id's output is
+// ready, for the given batch size; it interpolates linearly between
+// profiled batch sizes and extrapolates from the nearest edge.
+func (p *Profile) PrefixMS(nodeID, batch int) (float64, error) {
+	idx := -1
+	for i := range p.Layers {
+		if p.Layers[i].NodeID == nodeID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("profile: node %d not in profile of %s", nodeID, p.ModelName)
+	}
+	cum := 0.0
+	for i := 0; i <= idx; i++ {
+		ms, err := p.layerMS(i, batch)
+		if err != nil {
+			return 0, err
+		}
+		cum += ms
+	}
+	return cum, nil
+}
+
+// TotalMS returns the full-model execution time at the batch size.
+func (p *Profile) TotalMS(batch int) (float64, error) {
+	total := 0.0
+	for i := range p.Layers {
+		ms, err := p.layerMS(i, batch)
+		if err != nil {
+			return 0, err
+		}
+		total += ms
+	}
+	return total, nil
+}
+
+func (p *Profile) layerMS(i, batch int) (float64, error) {
+	if batch < 1 {
+		return 0, fmt.Errorf("profile: invalid batch %d", batch)
+	}
+	ms := p.Layers[i].MS
+	if v, ok := ms[batch]; ok {
+		return v, nil
+	}
+	// Linear interpolation between neighbors; extrapolation at edges.
+	bs := p.BatchSizes
+	if batch < bs[0] {
+		return ms[bs[0]] * float64(batch) / float64(bs[0]), nil
+	}
+	if batch > bs[len(bs)-1] {
+		last := bs[len(bs)-1]
+		if len(bs) == 1 {
+			return ms[last], nil
+		}
+		prev := bs[len(bs)-2]
+		slope := (ms[last] - ms[prev]) / float64(last-prev)
+		return ms[last] + slope*float64(batch-last), nil
+	}
+	lo := bs[0]
+	for _, b := range bs {
+		if b > batch {
+			hi := b
+			frac := float64(batch-lo) / float64(hi-lo)
+			return ms[lo] + frac*(ms[hi]-ms[lo]), nil
+		}
+		lo = b
+	}
+	return ms[lo], nil
+}
+
+// SavingsMS returns the per-exit latency saving of releasing a result at
+// the node instead of running the full model, at batch size 1 — the
+// quantity the ramp adjuster uses to price candidate ramps (§3.3).
+func (p *Profile) SavingsMS(nodeID int) (float64, error) {
+	prefix, err := p.PrefixMS(nodeID, 1)
+	if err != nil {
+		return 0, err
+	}
+	total, err := p.TotalMS(1)
+	if err != nil {
+		return 0, err
+	}
+	return total - prefix + p.NetworkDelayMS, nil
+}
+
+// Memory accounting (§2.3-C1).
+
+// MemoryMB estimates a model's GPU-resident size in MB: fp32 weights
+// (int8 for quantized variants) plus a fixed activation workspace share.
+func MemoryMB(m *model.Model) float64 {
+	bytesPerParam := 4.0
+	if m.Quantized {
+		bytesPerParam = 1.0
+	}
+	weights := float64(m.Params) * bytesPerParam / (1 << 20)
+	return weights * 1.15 // workspace overhead
+}
+
+// RampMemoryMB estimates the added GPU memory of a ramp set: each ramp's
+// parameter share of the host model. DeeBERT's 12 pooler ramps inflate
+// BERT-base by ~6.6% (§2.3); Apparate's lightweight ramps are far
+// smaller.
+func RampMemoryMB(m *model.Model, ramps []*ramp.Ramp) float64 {
+	total := 0.0
+	base := MemoryMB(m)
+	for _, r := range ramps {
+		total += base * r.Style.ParamFrac
+	}
+	return total
+}
+
+// MemoryOverheadFrac reports the ramp set's memory as a fraction of the
+// host model's.
+func MemoryOverheadFrac(m *model.Model, ramps []*ramp.Ramp) float64 {
+	base := MemoryMB(m)
+	if base == 0 {
+		return 0
+	}
+	return RampMemoryMB(m, ramps) / base
+}
+
+// RampDefinitionKB estimates the wire size of a ramp's definition plus
+// weights when the controller ships it to the GPU — the paper measures
+// ~10KB, which keeps CPU-GPU coordination non-blocking (§4.5).
+func RampDefinitionKB(m *model.Model, r *ramp.Ramp) float64 {
+	raw := float64(m.Params) * r.Style.ParamFrac * 4 / 1024
+	if raw < 2 {
+		raw = 2 // definition floor: graph patch + metadata
+	}
+	if raw > 64 {
+		raw = 64 // fc input width is bounded by the widest intermediate
+	}
+	return raw
+}

@@ -1,0 +1,183 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exitsim"
+	"repro/internal/model"
+	"repro/internal/ramp"
+	"repro/internal/rng"
+)
+
+func collect(t *testing.T, m *model.Model) *Profile {
+	t.Helper()
+	p, err := Collect(m, []int{1, 2, 4, 8, 16}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCollectRejectsBadInput(t *testing.T) {
+	m := model.ResNet50()
+	if _, err := Collect(m, nil, 0); err == nil {
+		t.Fatal("accepted empty batch sizes")
+	}
+	if _, err := Collect(m, []int{0}, 0); err == nil {
+		t.Fatal("accepted batch size 0")
+	}
+}
+
+func TestTotalMatchesModel(t *testing.T) {
+	for _, m := range model.ClassificationModels() {
+		p := collect(t, m)
+		for _, b := range []int{1, 4, 16} {
+			got, err := p.TotalMS(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-m.Latency(b)) > 1e-6*m.Latency(b) {
+				t.Errorf("%s bs=%d: profiled total %v, model %v", m.Name, b, got, m.Latency(b))
+			}
+		}
+	}
+}
+
+func TestPrefixMatchesModelAnalysis(t *testing.T) {
+	m := model.BERTBase()
+	p := collect(t, m)
+	for _, site := range m.FeasibleRamps() {
+		got, err := p.PrefixMS(site.NodeID, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.PrefixLatency(site.NodeID, 1)
+		if math.Abs(got-want) > 1e-6*m.Latency(1) {
+			t.Fatalf("node %d prefix %v, want %v", site.NodeID, got, want)
+		}
+	}
+}
+
+func TestPrefixUnknownNode(t *testing.T) {
+	p := collect(t, model.ResNet50())
+	if _, err := p.PrefixMS(99999, 1); err == nil {
+		t.Fatal("accepted unknown node")
+	}
+}
+
+func TestInterpolationMonotone(t *testing.T) {
+	m := model.GPT2Medium()
+	p, err := Collect(m, []int{1, 4, 16}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		b1 := r.Intn(20) + 1
+		b2 := b1 + r.Intn(10) + 1
+		t1, err1 := p.TotalMS(b1)
+		t2, err2 := p.TotalMS(b2)
+		return err1 == nil && err2 == nil && t2 > t1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterpolationExactAtProfiledPoints(t *testing.T) {
+	m := model.ResNet50()
+	p, err := Collect(m, []int{1, 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.TotalMS(8)
+	if math.Abs(got-m.Latency(8)) > 1e-9 {
+		t.Fatalf("profiled point not exact: %v vs %v", got, m.Latency(8))
+	}
+	// Interpolated point between 1 and 8 lies between the endpoints.
+	mid, _ := p.TotalMS(4)
+	if mid <= m.Latency(1) || mid >= m.Latency(8) {
+		t.Fatalf("interpolated total %v outside endpoints", mid)
+	}
+}
+
+func TestSavingsDecreaseWithDepth(t *testing.T) {
+	m := model.ResNet50()
+	p := collect(t, m)
+	prev := math.Inf(1)
+	for _, site := range m.FeasibleRamps() {
+		s, err := p.SavingsMS(site.NodeID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s <= 0 {
+			t.Fatalf("non-positive savings at node %d", site.NodeID)
+		}
+		if s >= prev {
+			t.Fatalf("savings not decreasing with depth at node %d", site.NodeID)
+		}
+		prev = s
+	}
+}
+
+func TestNetworkDelayAddsToSavings(t *testing.T) {
+	m := model.BERTBase()
+	local, _ := Collect(m, []int{1}, 0)
+	dist, _ := Collect(m, []int{1}, 0.4)
+	site := m.FeasibleRamps()[0]
+	sl, _ := local.SavingsMS(site.NodeID)
+	sd, _ := dist.SavingsMS(site.NodeID)
+	if math.Abs(sd-sl-0.4) > 1e-9 {
+		t.Fatalf("network delay not reflected: %v vs %v", sd, sl)
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	base := MemoryMB(model.BERTBase())
+	// 110M fp32 params ≈ 420MB + workspace.
+	if base < 400 || base > 600 {
+		t.Fatalf("bert-base memory %vMB implausible", base)
+	}
+	quant := MemoryMB(model.QuantizedBERTBase())
+	if quant >= base/3 {
+		t.Fatalf("int8 memory %v not ~4x below fp32 %v", quant, base)
+	}
+}
+
+func TestRampMemoryMatchesPaperScale(t *testing.T) {
+	m := model.BERTBase()
+	cfg := ramp.NewConfig(m, exitsim.ProfileFor(m, exitsim.KindAmazon), 1.0)
+	// DeeBERT: one pooler ramp per encoder (12 for BERT-base).
+	for _, s := range ramp.EvenSpacing(cfg.Sites, 12) {
+		if err := cfg.Activate(s, ramp.StyleDeeBERTPooler); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frac := MemoryOverheadFrac(m, cfg.Active)
+	// Paper: DeeBERT inflates BERT-base memory by 6.6%.
+	if frac < 0.03 || frac > 0.12 {
+		t.Fatalf("DeeBERT-style memory overhead %.3f outside plausible band", frac)
+	}
+	// Apparate's default ramps must be much lighter per ramp.
+	cfg2 := ramp.NewConfig(m, exitsim.ProfileFor(m, exitsim.KindAmazon), 0.02)
+	cfg2.DeployInitial(ramp.StyleDefault)
+	frac2 := MemoryOverheadFrac(m, cfg2.Active)
+	if frac2 >= frac {
+		t.Fatalf("default ramp memory %.4f not below DeeBERT-style %.4f", frac2, frac)
+	}
+}
+
+func TestRampDefinitionSize(t *testing.T) {
+	m := model.ResNet50()
+	cfg := ramp.NewConfig(m, exitsim.ProfileFor(m, exitsim.KindVideo), 0.02)
+	cfg.DeployInitial(ramp.StyleDefault)
+	for _, r := range cfg.Active {
+		kb := RampDefinitionKB(m, r)
+		// Paper: ~10KB definitions keep coordination non-blocking.
+		if kb < 1 || kb > 128 {
+			t.Fatalf("ramp definition %vKB outside plausible band", kb)
+		}
+	}
+}

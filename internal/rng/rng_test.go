@@ -1,0 +1,197 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with identical seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("streams with different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling child streams produced identical first draws")
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	p1, p2 := New(9), New(9)
+	c1, c2 := p1.Split(), p2.Split()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("split streams from identical parents diverged at %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) hit only %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(8)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Exp(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestPoissonMean(t *testing.T) {
+	for _, mean := range []float64{0.5, 4, 30, 200} {
+		r := New(uint64(mean * 100))
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Fatalf("Poisson(%v) mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonNonPositiveMean(t *testing.T) {
+	r := New(1)
+	if got := r.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+	if got := r.Poisson(-3); got != 0 {
+		t.Fatalf("Poisson(-3) = %d, want 0", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		size := int(n%32) + 1
+		p := New(seed).Perm(size)
+		if len(p) != size {
+			return false
+		}
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(11)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %v", got)
+	}
+}

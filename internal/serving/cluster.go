@@ -1,0 +1,116 @@
+package serving
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Dispatch selects how a cluster front-end spreads requests over
+// replicas.
+type Dispatch int
+
+// Dispatch policies.
+const (
+	// RoundRobin cycles replicas in arrival order.
+	RoundRobin Dispatch = iota
+	// LeastLoaded sends each arrival to the replica with the least
+	// outstanding estimated work (join-shortest-queue).
+	LeastLoaded
+)
+
+// String returns the policy name.
+func (d Dispatch) String() string {
+	switch d {
+	case RoundRobin:
+		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	}
+	return fmt.Sprintf("Dispatch(%d)", int(d))
+}
+
+// ClusterOptions configures a multi-replica run. The paper's platforms
+// scale models across replicas decided by the serving platform, and
+// Apparate attaches one controller per replica (§3, implementation
+// details) — so each replica gets its own Handler and adapts to the
+// slice of traffic it sees.
+type ClusterOptions struct {
+	Options
+	Replicas int
+	Dispatch Dispatch
+}
+
+// ClusterStats aggregates a cluster run.
+type ClusterStats struct {
+	PerReplica []*Stats
+	// Merged holds every request's result across replicas.
+	Merged *Stats
+}
+
+// RunCluster simulates the request stream over a pool of replicas.
+// makeHandler builds the handler for replica i (a fresh Apparate
+// controller per replica, or shared-nothing vanilla handlers).
+func RunCluster(reqs []workload.Request, makeHandler func(i int) Handler, opts ClusterOptions) *ClusterStats {
+	if opts.Replicas <= 0 {
+		panic("serving: RunCluster needs at least one replica")
+	}
+	// Dispatch pass: split the arrival stream.
+	sub := make([][]workload.Request, opts.Replicas)
+	switch opts.Dispatch {
+	case RoundRobin:
+		for i, r := range reqs {
+			sub[i%opts.Replicas] = append(sub[i%opts.Replicas], r)
+		}
+	case LeastLoaded:
+		// Track each replica's estimated work horizon: the time its
+		// already-assigned requests will keep it busy, assuming
+		// batch-1 service (a conservative, handler-agnostic estimate).
+		handlers := make([]Handler, opts.Replicas)
+		horizon := make([]float64, opts.Replicas)
+		for i := range handlers {
+			handlers[i] = makeHandler(i)
+		}
+		// The dispatch-time handlers are only used for latency
+		// estimates; fresh handlers serve the actual sub-streams below.
+		for _, r := range reqs {
+			best := 0
+			for i := 1; i < opts.Replicas; i++ {
+				if backlog(horizon[i], r.ArrivalMS) < backlog(horizon[best], r.ArrivalMS) {
+					best = i
+				}
+			}
+			start := r.ArrivalMS
+			if horizon[best] > start {
+				start = horizon[best]
+			}
+			horizon[best] = start + handlers[best].BatchLatency(1)
+			sub[best] = append(sub[best], r)
+		}
+	}
+
+	cs := &ClusterStats{PerReplica: make([]*Stats, opts.Replicas)}
+	merged := &Stats{}
+	var batches metrics.Counter
+	for i := 0; i < opts.Replicas; i++ {
+		st := Run(sub[i], makeHandler(i), opts.Options)
+		cs.PerReplica[i] = st
+		merged.Results = append(merged.Results, st.Results...)
+		batches.Add(st.AvgBatch)
+	}
+	// Re-summarize the merged results.
+	if len(reqs) > 0 {
+		cs.Merged = summarize(merged.Results, batches, reqs)
+	} else {
+		cs.Merged = merged
+	}
+	return cs
+}
+
+func backlog(horizon, now float64) float64 {
+	if horizon < now {
+		return 0
+	}
+	return horizon - now
+}

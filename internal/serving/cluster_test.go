@@ -1,0 +1,110 @@
+package serving
+
+import (
+	"testing"
+
+	"repro/internal/controller"
+	"repro/internal/exitsim"
+	"repro/internal/model"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestClusterSustainsHigherRate(t *testing.T) {
+	m := model.BERTBase()
+	// 2x the single-replica target overloads one replica badly but
+	// should be comfortable for three.
+	qps := trace.TargetQPS(m) * 2
+	s := workload.Amazon(6000, qps, 51)
+	opts := Options{Platform: Clockwork, SLOms: m.SLO()}
+
+	single := Run(s.Requests, &VanillaHandler{Model: m}, opts)
+	cluster := RunCluster(s.Requests, func(int) Handler { return &VanillaHandler{Model: m} },
+		ClusterOptions{Options: opts, Replicas: 3, Dispatch: LeastLoaded})
+
+	if cluster.Merged.DropRate >= single.DropRate {
+		t.Fatalf("3 replicas drop rate %v not below single replica %v",
+			cluster.Merged.DropRate, single.DropRate)
+	}
+	if cluster.Merged.DropRate > 0.1 {
+		t.Fatalf("cluster still dropping %v at a sustainable aggregate rate", cluster.Merged.DropRate)
+	}
+}
+
+func TestClusterServesEveryRequestOnce(t *testing.T) {
+	m := model.ResNet50()
+	s := workload.Video(0, 3000, 90, 52)
+	opts := Options{Platform: Clockwork, SLOms: m.SLO()}
+	for _, d := range []Dispatch{RoundRobin, LeastLoaded} {
+		cluster := RunCluster(s.Requests, func(int) Handler { return &VanillaHandler{Model: m} },
+			ClusterOptions{Options: opts, Replicas: 4, Dispatch: d})
+		seen := map[int]bool{}
+		for _, r := range cluster.Merged.Results {
+			if seen[r.ID] {
+				t.Fatalf("%v: request %d served twice", d, r.ID)
+			}
+			seen[r.ID] = true
+		}
+		if len(seen) != 3000 {
+			t.Fatalf("%v: %d distinct results, want 3000", d, len(seen))
+		}
+	}
+}
+
+func TestClusterPerReplicaControllers(t *testing.T) {
+	m := model.ResNet50()
+	prof := exitsim.ProfileFor(m, exitsim.KindVideo)
+	s := workload.Video(0, 6000, 60, 53)
+	opts := Options{Platform: Clockwork, SLOms: m.SLO()}
+	var handlers []*ApparateHandler
+	cluster := RunCluster(s.Requests, func(i int) Handler {
+		h := NewApparate(model.ResNet50(), prof, 0.02, controller.Config{})
+		handlers = append(handlers, h)
+		return h
+	}, ClusterOptions{Options: opts, Replicas: 2, Dispatch: RoundRobin})
+
+	if cluster.Merged.Accuracy < 0.98 {
+		t.Fatalf("cluster accuracy %v below constraint margin", cluster.Merged.Accuracy)
+	}
+	// Each replica's controller must have adapted independently.
+	adapted := 0
+	for _, h := range handlers {
+		if h.Ctl.TuneRounds+h.Ctl.AdjustRounds > 0 {
+			adapted++
+		}
+	}
+	if adapted < 2 {
+		t.Fatalf("only %d replica controllers adapted", adapted)
+	}
+}
+
+func TestLeastLoadedBeatsRoundRobinOnBursts(t *testing.T) {
+	m := model.BERTBase()
+	qps := trace.TargetQPS(m) * 2
+	s := workload.Amazon(6000, qps, 54)
+	opts := Options{Platform: Clockwork, SLOms: m.SLO()}
+	run := func(d Dispatch) float64 {
+		c := RunCluster(s.Requests, func(int) Handler { return &VanillaHandler{Model: m} },
+			ClusterOptions{Options: opts, Replicas: 3, Dispatch: d})
+		return c.Merged.DropRate
+	}
+	rr, ll := run(RoundRobin), run(LeastLoaded)
+	if ll > rr {
+		t.Fatalf("least-loaded drop rate %v above round-robin %v", ll, rr)
+	}
+}
+
+func TestClusterPanicsOnZeroReplicas(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunCluster with 0 replicas did not panic")
+		}
+	}()
+	RunCluster(nil, func(int) Handler { return nil }, ClusterOptions{Replicas: 0})
+}
+
+func TestDispatchStrings(t *testing.T) {
+	if RoundRobin.String() != "round-robin" || LeastLoaded.String() != "least-loaded" {
+		t.Fatal("bad dispatch names")
+	}
+}

@@ -1,0 +1,334 @@
+// Package serving is a discrete-event simulator of GPU model-serving
+// platforms (§2.1): requests arrive on a trace, are queued, batched under
+// a platform policy, and executed on a single-replica GPU whose batch
+// latency comes from the model's profile. Two policies are provided:
+//
+//   - Clockwork-style: work-conserving and SLO-aware — each scheduling
+//     decision picks the largest batch whose completion keeps the oldest
+//     queued request within its SLO, dropping requests whose deadline is
+//     already unreachable [30].
+//   - TF-Serving-style: batches form when max_batch_size requests are
+//     queued or the oldest has waited batch_timeout, without SLO
+//     awareness [51]; late responses are delivered, not dropped.
+//
+// The handler abstraction lets vanilla models, Apparate, and every
+// baseline share the same queueing machinery, so latency differences come
+// only from exiting behavior.
+package serving
+
+import (
+	"fmt"
+
+	"repro/internal/exitsim"
+	"repro/internal/metrics"
+	"repro/internal/ramp"
+	"repro/internal/workload"
+)
+
+// Platform selects a batching policy.
+type Platform int
+
+// Supported platforms.
+const (
+	Clockwork Platform = iota
+	TFServe
+)
+
+// String returns the platform name.
+func (p Platform) String() string {
+	switch p {
+	case Clockwork:
+		return "clockwork"
+	case TFServe:
+		return "tf-serve"
+	}
+	return fmt.Sprintf("Platform(%d)", int(p))
+}
+
+// Options configures a serving run.
+type Options struct {
+	Platform Platform
+	// SLOms is the per-request latency objective.
+	SLOms float64
+	// MaxBatch caps batch sizes (paper experiments use 1–16).
+	MaxBatch int
+	// BatchTimeoutMS is TF-Serving's batch_timeout_micros analogue.
+	BatchTimeoutMS float64
+	// QueueCap bounds TF-Serving's pending queue; arrivals beyond it are
+	// rejected. This is what makes small max_batch_size trade throughput
+	// for latency (Figure 2): bursts overflow instead of queueing
+	// indefinitely. Clockwork needs no cap — its SLO-awareness drops
+	// hopeless requests instead. Defaults to 4×MaxBatch.
+	QueueCap int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 16
+	}
+	if o.BatchTimeoutMS == 0 {
+		o.BatchTimeoutMS = 2
+	}
+	if o.QueueCap == 0 {
+		o.QueueCap = 4 * o.MaxBatch
+	}
+	return o
+}
+
+// Handler models one request-serving backend.
+type Handler interface {
+	// BatchLatency returns the worst-case execution time of a batch of
+	// the given size (all layers plus any ramp overheads); the scheduler
+	// plans with it.
+	BatchLatency(batch int) float64
+	// Serve processes one request inside a batch of the given size and
+	// reports its outcome; ServeMS is the offset from batch start at
+	// which the response is released.
+	Serve(s exitsim.Sample, batch int) ramp.Outcome
+}
+
+// Result is the fate of one request.
+type Result struct {
+	ID        int
+	ArrivalMS float64
+	// LatencyMS is response latency including queuing (undefined when
+	// Dropped).
+	LatencyMS float64
+	// ServeMS is the serving-time component.
+	ServeMS   float64
+	BatchSize int
+	ExitIndex int
+	Correct   bool
+	Dropped   bool
+	SLOMiss   bool
+}
+
+// Stats aggregates a serving run.
+type Stats struct {
+	Results       []Result
+	AvgBatch      float64
+	DropRate      float64
+	SLOMissRate   float64
+	ThroughputQPS float64
+	// Accuracy is the fraction of delivered results matching the
+	// original model.
+	Accuracy float64
+}
+
+// Latencies returns the latency distribution of delivered requests.
+func (s *Stats) Latencies() *metrics.Dist {
+	d := metrics.NewDist(len(s.Results))
+	for _, r := range s.Results {
+		if !r.Dropped {
+			d.Add(r.LatencyMS)
+		}
+	}
+	return d
+}
+
+// Run simulates serving the request stream with the handler.
+func Run(reqs []workload.Request, h Handler, opts Options) *Stats {
+	opts = opts.withDefaults()
+	results := make([]Result, 0, len(reqs))
+	var batches metrics.Counter
+
+	now := 0.0 // GPU-free time
+	i := 0     // next arrival index
+	queue := make([]workload.Request, 0, opts.MaxBatch*4)
+
+	for i < len(reqs) || len(queue) > 0 {
+		// Admit every request that has arrived by `now`.
+		for i < len(reqs) && reqs[i].ArrivalMS <= now {
+			if opts.Platform == TFServe && len(queue) >= opts.QueueCap {
+				results = append(results, Result{
+					ID: reqs[i].ID, ArrivalMS: reqs[i].ArrivalMS,
+					Dropped: true, SLOMiss: true, ExitIndex: -1,
+				})
+			} else {
+				queue = append(queue, reqs[i])
+			}
+			i++
+		}
+		if len(queue) == 0 {
+			// Idle: jump to the next arrival.
+			now = reqs[i].ArrivalMS
+			continue
+		}
+
+		var batch []workload.Request
+		switch opts.Platform {
+		case Clockwork:
+			batch, queue, results = clockworkPick(queue, results, now, h, opts)
+			if batch == nil {
+				// Everything queued was dropped; loop to admit more.
+				continue
+			}
+			// Catch-up batching: when the backlog is real (the oldest
+			// request has already burned a quarter of its SLO), briefly
+			// holding the GPU for imminent arrivals forms a larger batch
+			// whose amortization drains the backlog — larger batches
+			// have far lower per-request cost (§2.1). The hold is
+			// admitted only while the oldest request still meets its
+			// SLO.
+			if len(batch) == len(queue)+len(batch) { // took the whole queue
+				oldestWait := now - batch[0].ArrivalMS
+				if oldestWait > 0.25*opts.SLOms {
+					extended := false
+					for len(batch) < opts.MaxBatch && i < len(reqs) {
+						next := reqs[i].ArrivalMS
+						hold := next - now
+						if hold < 0 {
+							hold = 0
+						}
+						if oldestWait+hold+h.BatchLatency(len(batch)+1) > opts.SLOms {
+							break
+						}
+						if !extended {
+							// The batch aliases the queue's backing
+							// array; copy before growing it.
+							batch = append([]workload.Request(nil), batch...)
+							extended = true
+						}
+						if next > now {
+							now = next
+							oldestWait = now - batch[0].ArrivalMS
+						}
+						batch = append(batch, reqs[i])
+						i++
+					}
+				}
+			}
+		case TFServe:
+			var wait float64
+			batch, queue, wait = tfservePick(queue, now, i < len(reqs), reqsNextArrival(reqs, i), opts)
+			if batch == nil {
+				now += wait
+				continue
+			}
+		}
+
+		b := len(batch)
+		start := now
+		dur := h.BatchLatency(b)
+		batches.Add(float64(b))
+		for _, req := range batch {
+			out := h.Serve(req.Sample, b)
+			lat := start + out.ServeMS - req.ArrivalMS
+			results = append(results, Result{
+				ID:        req.ID,
+				ArrivalMS: req.ArrivalMS,
+				LatencyMS: lat,
+				ServeMS:   out.ServeMS,
+				BatchSize: b,
+				ExitIndex: out.ExitIndex,
+				Correct:   out.Correct,
+				SLOMiss:   lat > opts.SLOms,
+			})
+		}
+		now = start + dur
+	}
+
+	return summarize(results, batches, reqs)
+}
+
+func reqsNextArrival(reqs []workload.Request, i int) float64 {
+	if i < len(reqs) {
+		return reqs[i].ArrivalMS
+	}
+	return 0
+}
+
+// clockworkPick drops requests whose SLO is unreachable even at batch
+// size 1, then selects the largest batch that keeps the oldest remaining
+// request within its SLO.
+func clockworkPick(queue []workload.Request, results []Result, now float64, h Handler, opts Options) ([]workload.Request, []workload.Request, []Result) {
+	// Drop hopeless requests (oldest first).
+	for len(queue) > 0 {
+		oldest := queue[0]
+		if now-oldest.ArrivalMS+h.BatchLatency(1) <= opts.SLOms {
+			break
+		}
+		results = append(results, Result{
+			ID: oldest.ID, ArrivalMS: oldest.ArrivalMS, Dropped: true, SLOMiss: true,
+			ExitIndex: -1,
+		})
+		queue = queue[1:]
+	}
+	if len(queue) == 0 {
+		return nil, queue, results
+	}
+	b := 1
+	maxB := opts.MaxBatch
+	if maxB > len(queue) {
+		maxB = len(queue)
+	}
+	oldestWait := now - queue[0].ArrivalMS
+	for b < maxB && oldestWait+h.BatchLatency(b+1) <= opts.SLOms {
+		b++
+	}
+	batch := queue[:b]
+	return batch, queue[b:], results
+}
+
+// tfservePick forms a batch when max_batch_size requests are waiting or
+// the oldest exceeds the batch timeout; otherwise it reports how long to
+// wait.
+func tfservePick(queue []workload.Request, now float64, more bool, nextArrival float64, opts Options) ([]workload.Request, []workload.Request, float64) {
+	if len(queue) >= opts.MaxBatch {
+		return queue[:opts.MaxBatch], queue[opts.MaxBatch:], 0
+	}
+	deadline := queue[0].ArrivalMS + opts.BatchTimeoutMS
+	if now >= deadline || !more {
+		// Copy the flush: the emptied queue reuses the backing array.
+		batch := make([]workload.Request, len(queue))
+		copy(batch, queue)
+		return batch, queue[:0], 0
+	}
+	// Wait for either the timeout or the next arrival, whichever first.
+	wait := deadline - now
+	if more && nextArrival > now && nextArrival-now < wait {
+		wait = nextArrival - now
+	}
+	if wait <= 0 {
+		wait = 1e-6
+	}
+	return nil, queue, wait
+}
+
+func summarize(results []Result, batches metrics.Counter, reqs []workload.Request) *Stats {
+	s := &Stats{Results: results, AvgBatch: batches.Mean()}
+	if len(results) == 0 {
+		return s
+	}
+	drops, misses, correct, delivered := 0, 0, 0, 0
+	var lastDone float64
+	for _, r := range results {
+		if r.Dropped {
+			drops++
+			continue
+		}
+		delivered++
+		if r.SLOMiss {
+			misses++
+		}
+		if r.Correct {
+			correct++
+		}
+		if done := r.ArrivalMS + r.LatencyMS; done > lastDone {
+			lastDone = done
+		}
+	}
+	n := float64(len(results))
+	s.DropRate = float64(drops) / n
+	if delivered > 0 {
+		s.SLOMissRate = float64(misses) / float64(delivered)
+		s.Accuracy = float64(correct) / float64(delivered)
+	}
+	if lastDone > 0 {
+		span := lastDone - reqs[0].ArrivalMS
+		if span > 0 {
+			s.ThroughputQPS = float64(delivered) / span * 1000
+		}
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+// Package trace generates request arrival processes: fixed-rate streams
+// (video frames), Poisson arrivals (generative workloads, §4.1), and
+// Microsoft-Azure-Functions-like (MAF) bursty traces used for the NLP
+// classification workloads, following the methodology of §4.1.
+package trace
+
+import (
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// FixedRate returns n arrival timestamps in milliseconds at a constant
+// rate of qps requests per second (e.g., 30 fps video).
+func FixedRate(n int, qps float64) []float64 {
+	if qps <= 0 {
+		panic("trace: FixedRate qps must be positive")
+	}
+	out := make([]float64, n)
+	period := 1000 / qps
+	for i := range out {
+		out[i] = float64(i) * period
+	}
+	return out
+}
+
+// Poisson returns n arrival timestamps (ms) from a homogeneous Poisson
+// process with the given mean rate.
+func Poisson(n int, qps float64, r *rng.Rand) []float64 {
+	if qps <= 0 {
+		panic("trace: Poisson qps must be positive")
+	}
+	out := make([]float64, n)
+	t := 0.0
+	ratePerMS := qps / 1000
+	for i := range out {
+		t += r.Exp(ratePerMS)
+		out[i] = t
+	}
+	return out
+}
+
+// MAF returns n arrival timestamps (ms) following a bursty,
+// rate-modulated process in the style of the Microsoft Azure Functions
+// traces: the per-second rate follows a mean-reverting AR(1) on the log
+// scale with occasional multiplicative spikes, and arrivals within each
+// second are Poisson at that second's rate.
+func MAF(n int, meanQPS float64, r *rng.Rand) []float64 {
+	if meanQPS <= 0 {
+		panic("trace: MAF meanQPS must be positive")
+	}
+	const (
+		phi      = 0.90 // AR(1) persistence of the log-rate
+		sigma    = 0.28 // innovation scale
+		spikeP   = 0.01 // probability of a burst second
+		spikeMul = 3.0  // burst magnitude
+	)
+	// Stationary variance of the AR(1); subtracting half of it keeps the
+	// mean rate at meanQPS despite the lognormal modulation.
+	statVar := sigma * sigma / (1 - phi*phi)
+	x := 0.0
+	out := make([]float64, 0, n)
+	sec := 0
+	for len(out) < n {
+		x = phi*x + sigma*r.Norm()
+		rate := meanQPS * math.Exp(x-statVar/2)
+		if r.Bool(spikeP) {
+			rate *= spikeMul
+		}
+		k := r.Poisson(rate)
+		base := float64(sec) * 1000
+		for i := 0; i < k && len(out) < n; i++ {
+			out = append(out, base+r.Float64()*1000)
+		}
+		sec++
+	}
+	// Arrivals within a second are unordered; sort by insertion since we
+	// appended uniform offsets. A simple insertion pass suffices because
+	// only same-second entries can be out of order.
+	sortWithinSeconds(out)
+	return out
+}
+
+// sortWithinSeconds sorts a nearly-sorted arrival slice (entries are out
+// of order only within one-second windows) via insertion sort, which is
+// O(n·k) for displacement k.
+func sortWithinSeconds(a []float64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// TargetQPS returns a sustainable mean request rate for the model at its
+// default SLO, mirroring the paper's snippet-selection criterion that
+// vanilla serving should not drop more than 20% of requests (§4.1). The
+// rate is a fixed fraction of the capacity at the largest batch size that
+// still fits within the SLO.
+func TargetQPS(m *model.Model) float64 {
+	slo := m.SLO()
+	b := 1
+	for b < 64 && m.Latency(b+1) <= slo {
+		b++
+	}
+	capacity := float64(b) / m.Latency(b) * 1000 // requests per second
+	// MAF traces are bursty (~2× swings around the mean), so the
+	// sustainable mean rate sits well below raw capacity.
+	return 0.30 * capacity
+}

@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: build test vet race bench sweep-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector pass over the concurrent sweep engine (and the layers
+# it drives).
+race:
+	$(GO) test -race ./internal/sweep ./internal/serving ./internal/core
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# A 24+-scenario mixed grid at -workers 8, then the determinism gate:
+# the same grid at -workers 1 must emit byte-identical JSON.
+SMOKE_FLAGS = -models resnet18,resnet50,vgg11,distilbert-base,bert-base,t5-large \
+	-workloads video-0,video-1,amazon,imdb,cnn-dailymail \
+	-budgets 0.01,0.02 -n 1500 -gen-n 10 -seed 1 -quiet
+
+sweep-smoke:
+	$(GO) run ./cmd/apparate-sweep $(SMOKE_FLAGS) -workers 8 -out /tmp/sweep-w8.json
+	$(GO) run ./cmd/apparate-sweep $(SMOKE_FLAGS) -workers 1 -out /tmp/sweep-w1.json >/dev/null
+	cmp /tmp/sweep-w1.json /tmp/sweep-w8.json
+	@echo "sweep-smoke: deterministic across worker counts"
+
+ci: build test vet race sweep-smoke

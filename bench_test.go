@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 // runExperiment executes one registered experiment per benchmark
@@ -74,3 +75,34 @@ func BenchmarkAblation(b *testing.B)  { runExperiment(b, "ablation") }
 
 func BenchmarkExitRules(b *testing.B) { runExperiment(b, "exitrules") }
 func BenchmarkCluster(b *testing.B)   { runExperiment(b, "cluster") }
+
+// Sweep engine: a mixed CV/NLP/generative grid through the parallel
+// scenario runner, measuring end-to-end grid throughput at full
+// parallelism (workers = GOMAXPROCS).
+
+func BenchmarkSweepGrid(b *testing.B) {
+	grid := sweep.Grid{
+		Models:    []string{"resnet18", "resnet50", "distilbert-base", "t5-large"},
+		Workloads: []string{"video-0", "amazon", "cnn-dailymail"},
+		Budgets:   []float64{0.01, 0.02},
+		N:         2000,
+		GenN:      10,
+		Seed:      1,
+	}
+	scenarios, err := grid.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := sweep.Run(scenarios, sweep.Options{})
+		for _, r := range results {
+			if r.Err != "" {
+				b.Fatalf("%s: %s", r.Scenario.Key(), r.Err)
+			}
+		}
+		if i == 0 {
+			fmt.Printf("sweep: %d scenarios\n", len(results))
+		}
+	}
+}

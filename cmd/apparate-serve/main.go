@@ -1,12 +1,15 @@
-// Command apparate-serve runs one serving simulation: a model, a
-// workload, a platform, and Apparate's two parameters, printing the
+// Command apparate-serve runs one serving scenario — a model, a
+// workload, a platform, and Apparate's two parameters — printing the
 // latency distribution, accuracy, and adaptation activity against the
-// vanilla baseline.
+// vanilla baseline. It is the single-scenario special case of the sweep
+// engine: the same core.RunScenario entry point that apparate-sweep
+// drives in parallel over a grid.
 //
 // Usage:
 //
 //	apparate-serve -model resnet50 -workload video-0 -n 12000
 //	apparate-serve -model bert-base -workload amazon -platform tf-serve
+//	apparate-serve -model bert-base -workload amazon -replicas 4 -dispatch least-loaded
 //	apparate-serve -model t5-large -workload cnn-dailymail -n 500
 package main
 
@@ -16,12 +19,7 @@ import (
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/exitsim"
 	"repro/internal/metrics"
-	"repro/internal/model"
-	"repro/internal/serving"
-	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -30,93 +28,76 @@ func main() {
 		wlName    = flag.String("workload", "video-0", "workload: video-0..7, amazon, imdb, cnn-dailymail, squad")
 		n         = flag.Int("n", 12000, "number of requests (sequences for generative)")
 		platform  = flag.String("platform", "clockwork", "serving platform: clockwork | tf-serve")
+		dispatch  = flag.String("dispatch", "round-robin", "cluster dispatch policy: round-robin | least-loaded")
+		replicas  = flag.Int("replicas", 1, "replica count (replicas > 1 runs the cluster simulator)")
+		rate      = flag.Float64("rate", 1, "arrival-rate multiplier over the workload's native rate (video: 30fps × rate)")
 		budget    = flag.Float64("ramp-budget", 0.02, "ramp budget (fraction of worst-case latency)")
 		accLoss   = flag.Float64("acc-loss", 0.01, "tolerable accuracy loss")
+		exitRule  = flag.String("exit-rule", "", "exit rule override: entropy | windowed-K | patience-P")
+		genSlots  = flag.Int("gen-slots", 0, "generative continuous-batching slots (0 = engine default)")
+		genFlush  = flag.Int("gen-flush", 0, "generative pending-token flush threshold (0 = engine default)")
 		seed      = flag.Uint64("seed", 1, "workload seed")
-		fps       = flag.Float64("fps", 30, "frame rate for video workloads")
 	)
 	flag.Parse()
 
-	m, err := model.ByName(*modelName)
+	sc := core.Scenario{
+		Model:      *modelName,
+		Workload:   *wlName,
+		Platform:   *platform,
+		Dispatch:   *dispatch,
+		Replicas:   *replicas,
+		N:          *n,
+		Seed:       *seed,
+		RateMult:   *rate,
+		RampBudget: *budget,
+		AccLoss:    *accLoss,
+		ExitRule:   *exitRule,
+		GenSlots:   *genSlots,
+		GenFlush:   *genFlush,
+	}
+	res, err := core.RunScenario(sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-
-	cfg := core.Config{AccuracyConstraint: *accLoss, RampBudget: *budget}
-	switch *platform {
-	case "clockwork":
-		cfg.Platform = serving.Clockwork
-	case "tf-serve":
-		cfg.Platform = serving.TFServe
-	default:
-		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
-		os.Exit(1)
-	}
-
-	if *wlName == "cnn-dailymail" || *wlName == "squad" {
-		runGenerative(m, *wlName, *n, *seed, cfg)
-		return
-	}
-
-	qps := *fps
-	kind := exitsim.KindVideo
-	switch *wlName {
-	case "amazon":
-		kind, qps = exitsim.KindAmazon, trace.TargetQPS(m)
-	case "imdb":
-		kind, qps = exitsim.KindIMDB, trace.TargetQPS(m)
-	}
-	stream, err := workload.ByName(*wlName, *n, qps, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-
-	sys := core.New(m, kind, cfg)
-	v := sys.ServeVanilla(stream)
-	a := sys.Serve(stream)
-	vl, al := v.Latencies(), a.Latencies()
-
-	fmt.Printf("model=%s workload=%s n=%d platform=%s slo=%.1fms\n",
-		m.Name, stream.Name, stream.Len(), *platform, sys.Opts.SLOms)
-	fmt.Printf("%-10s %10s %10s %10s\n", "", "vanilla", "apparate", "win")
-	for _, p := range []struct {
-		name string
-		q    float64
-	}{{"p25", 25}, {"p50", 50}, {"p95", 95}} {
-		vv, aa := vl.Percentile(p.q), al.Percentile(p.q)
-		fmt.Printf("%-10s %9.1fms %9.1fms %9.1f%%\n", p.name, vv, aa, metrics.WinPercent(vv, aa))
-	}
-	fmt.Printf("accuracy   %10.2f%% %9.2f%%\n", v.Accuracy*100, a.Accuracy*100)
-	fmt.Printf("throughput %8.1fqps %7.1fqps\n", v.ThroughputQPS, a.ThroughputQPS)
-	ctl := sys.Controller()
-	fmt.Printf("adaptation: %d threshold tuning rounds, %d ramp adjustment rounds, %d active ramps\n",
-		ctl.TuneRounds, ctl.AdjustRounds, len(sys.Handler.Cfg.Active))
+	printResult(res)
 }
 
-func runGenerative(m *model.Model, wlName string, n int, seed uint64, cfg core.Config) {
-	stream, err := workload.GenByName(wlName, n, 2, seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+func printResult(res *core.Result) {
+	sc := res.Scenario
+	if res.Generative {
+		fmt.Printf("model=%s workload=%s sequences=%d\n", sc.Model, sc.Workload, res.Requests)
+	} else {
+		fmt.Printf("model=%s workload=%s n=%d platform=%s dispatch=%s replicas=%d slo=%.1fms\n",
+			sc.Model, sc.Workload, res.Requests, sc.Platform, sc.Dispatch, sc.Replicas, res.SLOms)
 	}
-	kind := exitsim.KindCNNDailyMail
-	if wlName == "squad" {
-		kind = exitsim.KindSQuAD
+
+	label := ""
+	if res.Generative {
+		label = "TPT"
 	}
-	g := core.NewGen(m, kind, cfg)
-	v := g.ServeVanilla(stream)
-	a := g.Serve(stream)
-	vt, at := v.TPT(), a.TPT()
-	fmt.Printf("model=%s workload=%s sequences=%d\n", m.Name, stream.Name, stream.Len())
-	fmt.Printf("%-10s %10s %10s %10s\n", "TPT", "vanilla", "apparate", "win")
-	for _, p := range []struct {
+	fmt.Printf("%-10s %10s %10s %10s\n", label, "vanilla", "apparate", "win")
+	rows := []struct {
 		name string
-		q    float64
-	}{{"p25", 25}, {"p50", 50}, {"p95", 95}} {
-		vv, aa := vt.Percentile(p.q), at.Percentile(p.q)
-		fmt.Printf("%-10s %9.2fms %9.2fms %9.1f%%\n", p.name, vv, aa, metrics.WinPercent(vv, aa))
+		v, a float64
+	}{
+		{"p25", res.Vanilla.P25ms, res.Apparate.P25ms},
+		{"p50", res.Vanilla.P50ms, res.Apparate.P50ms},
+		{"p95", res.Vanilla.P95ms, res.Apparate.P95ms},
+		{"p99", res.Vanilla.P99ms, res.Apparate.P99ms},
 	}
-	fmt.Printf("sequence score: vanilla %.4f, apparate %.4f\n", v.MeanScore, a.MeanScore)
+	for _, r := range rows {
+		fmt.Printf("%-10s %9.2fms %9.2fms %9.1f%%\n", r.name, r.v, r.a, metrics.WinPercent(r.v, r.a))
+	}
+
+	if res.Generative {
+		fmt.Printf("sequence score: vanilla %.4f, apparate %.4f\n", res.Vanilla.Accuracy, res.Apparate.Accuracy)
+		fmt.Printf("throughput: vanilla %.1f tok/s, apparate %.1f tok/s\n", res.Vanilla.Throughput, res.Apparate.Throughput)
+	} else {
+		fmt.Printf("accuracy   %10.2f%% %9.2f%%   (loss %.3f%%, constraint %.1f%%)\n",
+			res.Vanilla.Accuracy*100, res.Apparate.Accuracy*100, res.AccDelta*100, sc.AccLoss*100)
+		fmt.Printf("throughput %8.1fqps %7.1fqps\n", res.Vanilla.Throughput, res.Apparate.Throughput)
+	}
+	fmt.Printf("adaptation: %d threshold tuning rounds, %d ramp adjustment rounds, %d active ramps\n",
+		res.TuneRounds, res.AdjustRounds, res.ActiveRamps)
 }

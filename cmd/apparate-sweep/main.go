@@ -1,0 +1,206 @@
+// Command apparate-sweep expands a scenario grid — the cartesian
+// product of models, workloads, platforms, dispatch policies, replica
+// counts, rate multipliers, ramp budgets, and accuracy constraints —
+// and runs every scenario in parallel on a bounded worker pool, with
+// deterministic per-scenario seeding: the same grid and seed produce
+// byte-identical output at any worker count.
+//
+// Usage:
+//
+//	apparate-sweep -models resnet18,resnet50 -workloads video-0,video-1
+//	apparate-sweep -workloads 'video-*' -platforms clockwork -rank p99
+//	apparate-sweep -budgets 0.01,0.02,0.04 -out results.json
+//	apparate-sweep -skip 'model=vgg*' -format csv -out results.csv
+//	apparate-sweep -list            # print the expanded grid, don't run
+//
+// Axis flags take comma-separated values; empty axes expand to the full
+// supported range (all compatible model/workload pairings, both
+// platforms) or the paper's default parameter. -only and -skip take
+// comma-separated glob patterns over axis tokens such as
+// "model=resnet*" or "workload=video-3".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitInts(s, flagName string) []int {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			fatalf("-%s: bad value %q: %v", flagName, p, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func splitFloats(s, flagName string) []float64 {
+	var out []float64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			fatalf("-%s: bad value %q: %v", flagName, p, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		models     = flag.String("models", "", "comma-separated model names (default: entire zoo)")
+		workloads  = flag.String("workloads", "", "comma-separated workloads (default: all; video-0..7, amazon, imdb, cnn-dailymail, squad)")
+		platforms  = flag.String("platforms", "", "comma-separated platforms (default: clockwork,tf-serve)")
+		dispatches = flag.String("dispatch", "", "comma-separated dispatch policies (default: round-robin)")
+		replicas   = flag.String("replicas", "", "comma-separated replica counts (default: 1)")
+		rates      = flag.String("rates", "", "comma-separated arrival-rate multipliers (default: 1)")
+		budgets    = flag.String("budgets", "", "comma-separated ramp budgets (default: 0.02)")
+		accLosses  = flag.String("acc-losses", "", "comma-separated accuracy-loss constraints (default: 0.01)")
+		rules      = flag.String("exit-rules", "", "comma-separated exit rules (default: entropy)")
+		n          = flag.Int("n", 4000, "requests per classification scenario")
+		genN       = flag.Int("gen-n", 40, "sequences per generative scenario")
+		seed       = flag.Uint64("seed", 1, "base seed; per-scenario seeds derive from it")
+		only       = flag.String("only", "", "comma-separated include globs over axis tokens (e.g. 'model=resnet*,workload=video-0')")
+		skip       = flag.String("skip", "", "comma-separated exclude globs over axis tokens")
+		workers    = flag.Int("workers", 0, "concurrent scenario executions (0 = GOMAXPROCS)")
+		out        = flag.String("out", "", "write results to this file (format from -format)")
+		format     = flag.String("format", "json", "output format for -out: json | csv")
+		rank       = flag.String("rank", "p99", "table ranking metric: "+strings.Join(sweep.RankMetrics(), " | "))
+		top        = flag.Int("top", 0, "show only the best N table rows (0 = all)")
+		list       = flag.Bool("list", false, "print the expanded scenario grid and exit without running")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	grid := sweep.Grid{
+		Models:     splitList(*models),
+		Workloads:  splitList(*workloads),
+		Platforms:  splitList(*platforms),
+		Dispatches: splitList(*dispatches),
+		Replicas:   splitInts(*replicas, "replicas"),
+		RateMults:  splitFloats(*rates, "rates"),
+		Budgets:    splitFloats(*budgets, "budgets"),
+		AccLosses:  splitFloats(*accLosses, "acc-losses"),
+		ExitRules:  splitList(*rules),
+		N:          *n,
+		GenN:       *genN,
+		Seed:       *seed,
+		Only:       splitList(*only),
+		Skip:       splitList(*skip),
+	}
+	// Reject bad output options before spending compute on the grid.
+	if _, err := sweep.Rank(nil, *rank); err != nil {
+		fatalf("%v", err)
+	}
+	if *out != "" && *format != "json" && *format != "csv" {
+		fatalf("-format: want json or csv, got %q", *format)
+	}
+
+	scenarios, err := grid.Expand()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(scenarios) == 0 {
+		fatalf("grid expanded to zero scenarios (filters too strict?)")
+	}
+	if *list {
+		for _, sc := range scenarios {
+			fmt.Println(sc.Key())
+		}
+		fmt.Fprintf(os.Stderr, "%d scenarios\n", len(scenarios))
+		return
+	}
+
+	opts := sweep.Options{Workers: *workers}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "sweep: %d scenarios, %d workers\n", len(scenarios), effectiveWorkers(*workers, len(scenarios)))
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d done", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	start := time.Now()
+	results := sweep.Run(scenarios, opts)
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "sweep: completed in %.1fs\n", time.Since(start).Seconds())
+	}
+
+	table, err := sweep.Table(results, *rank, *top)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Print(table)
+
+	failed := 0
+	for _, r := range results {
+		if r.Err != "" {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d/%d scenarios failed\n", failed, len(results))
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *format == "json" {
+			err = sweep.WriteJSON(f, results)
+		} else {
+			err = sweep.WriteCSV(f, results)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatalf("writing %s: %v", *out, err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: wrote %s (%s)\n", *out, *format)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func effectiveWorkers(workers, scenarios int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > scenarios {
+		workers = scenarios
+	}
+	return workers
+}

@@ -47,4 +47,15 @@ func main() {
 	ctl := sys.Controller()
 	fmt.Printf("adaptation: %d threshold-tuning rounds, %d ramp-adjustment rounds\n",
 		ctl.TuneRounds, ctl.AdjustRounds)
+
+	// 5. The same experiment as one declarative scenario — the uniform
+	// entry point apparate-serve and apparate-sweep are built on.
+	res, err := core.RunScenario(core.Scenario{
+		Model: "resnet50", Workload: "video-0", N: 10000, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nscenario API: p95 %.2fms -> %.2fms (win %.1f%%), accuracy loss %.3f%%\n",
+		res.Vanilla.P95ms, res.Apparate.P95ms, res.P95Win, res.AccDelta*100)
 }

@@ -53,6 +53,12 @@ type Config struct {
 	// "windowed-K", "patience-P"); Apparate's controller is agnostic to
 	// the technique (§5).
 	ExitRule string
+	// GenSlots overrides the generative engine's continuous-batching slot
+	// count (default 8).
+	GenSlots int
+	// GenFlush overrides the generative engine's pending-token flush
+	// threshold (default 8).
+	GenFlush int
 }
 
 func (c Config) withDefaults() Config {
@@ -142,9 +148,16 @@ type GenSystem struct {
 func NewGen(m *model.Model, kind exitsim.Kind, cfg Config) *GenSystem {
 	cfg = cfg.withDefaults()
 	profile := exitsim.ProfileFor(m, kind)
+	eng := genserve.NewEngine(m, profile)
+	if cfg.GenSlots > 0 {
+		eng.MaxConcurrent = cfg.GenSlots
+	}
+	if cfg.GenFlush > 0 {
+		eng.FlushCount = cfg.GenFlush
+	}
 	return &GenSystem{
 		Model:  m,
-		Engine: genserve.NewEngine(m, profile),
+		Engine: eng,
 		Policy: genserve.NewApparateGen(m, profile, cfg.AccuracyConstraint),
 	}
 }

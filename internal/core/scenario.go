@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/controller"
+	"repro/internal/exitrule"
+	"repro/internal/exitsim"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/serving"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Scenario is one fully specified serving experiment: a model, a
+// workload, a platform configuration, and Apparate's parameters. It is
+// the uniform entry point shared by apparate-serve (one scenario),
+// apparate-sweep (a grid of them), examples, and tests — every field is
+// a plain value so a Scenario can be hashed, filtered, and serialized.
+type Scenario struct {
+	Model    string `json:"model"`
+	Workload string `json:"workload"`
+	// Platform is "clockwork" or "tf-serve" (classification only).
+	Platform string `json:"platform"`
+	// Dispatch is "round-robin" or "least-loaded"; it only matters when
+	// Replicas > 1.
+	Dispatch string `json:"dispatch"`
+	// Replicas is the cluster width; 1 runs the single-replica simulator.
+	Replicas int `json:"replicas"`
+	// N is the request count (sequences for generative workloads).
+	N    int    `json:"n"`
+	Seed uint64 `json:"seed"`
+	// RateMult scales the workload's native arrival rate (video frame
+	// rate, trace-derived NLP QPS, or generative sequence rate).
+	RateMult float64 `json:"rate_mult"`
+	// RampBudget and AccLoss are Apparate's two user-facing parameters.
+	RampBudget float64 `json:"ramp_budget"`
+	AccLoss    float64 `json:"acc_loss"`
+	// ExitRule optionally overrides the exit strategy ("entropy",
+	// "windowed-K", "patience-P").
+	ExitRule string `json:"exit_rule,omitempty"`
+	// GenSlots and GenFlush override the generative engine's
+	// continuous-batching slot count and pending-token flush threshold
+	// (0 = engine defaults; generative workloads only).
+	GenSlots int `json:"gen_slots,omitempty"`
+	GenFlush int `json:"gen_flush,omitempty"`
+}
+
+// Normalize fills defaults and canonicalizes axes that a scenario class
+// ignores, so equivalent scenarios compare equal: generative serving has
+// no platform batching policy, dispatch, or replica axis, and dispatch
+// is meaningless below two replicas.
+func (sc Scenario) Normalize() Scenario {
+	if sc.Platform == "" {
+		sc.Platform = "clockwork"
+	}
+	if sc.Dispatch == "" {
+		sc.Dispatch = "round-robin"
+	}
+	if sc.Replicas <= 0 {
+		sc.Replicas = 1
+	}
+	if sc.RateMult == 0 {
+		sc.RateMult = 1
+	}
+	if sc.RampBudget == 0 {
+		sc.RampBudget = 0.02
+	}
+	if sc.AccLoss == 0 {
+		sc.AccLoss = 0.01
+	}
+	if workload.IsGenerative(sc.Workload) {
+		sc.Platform = "clockwork"
+		sc.Dispatch = "round-robin"
+		sc.Replicas = 1
+	} else {
+		sc.GenSlots, sc.GenFlush = 0, 0
+	}
+	if sc.Replicas == 1 {
+		sc.Dispatch = "round-robin"
+	}
+	return sc
+}
+
+// Generative reports whether the scenario drives the generative path.
+func (sc Scenario) Generative() bool { return workload.IsGenerative(sc.Workload) }
+
+// Identity is the scenario's stable key over every axis except the seed:
+// it names a point in the sweep grid, and per-scenario seeds are derived
+// from it so results do not depend on grid enumeration order.
+func (sc Scenario) Identity() string {
+	sc = sc.Normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "model=%s workload=%s platform=%s dispatch=%s replicas=%d n=%d rate=%g budget=%g accloss=%g",
+		sc.Model, sc.Workload, sc.Platform, sc.Dispatch, sc.Replicas, sc.N, sc.RateMult, sc.RampBudget, sc.AccLoss)
+	if sc.ExitRule != "" {
+		fmt.Fprintf(&b, " rule=%s", sc.ExitRule)
+	}
+	if sc.GenSlots != 0 {
+		fmt.Fprintf(&b, " slots=%d", sc.GenSlots)
+	}
+	if sc.GenFlush != 0 {
+		fmt.Fprintf(&b, " flush=%d", sc.GenFlush)
+	}
+	return b.String()
+}
+
+// Key is Identity plus the seed — the scenario's full identity.
+func (sc Scenario) Key() string {
+	return fmt.Sprintf("%s seed=%d", sc.Identity(), sc.Seed)
+}
+
+// RunSummary condenses one serving run (vanilla or Apparate) of a
+// scenario. For classification, latencies are per-request response
+// latencies, Accuracy is agreement with the original model, and
+// Throughput counts delivered requests per second. For generative
+// serving, latencies are per-token TPT, Accuracy is the ROUGE-L/F1
+// sequence-score proxy, and Throughput counts generated tokens per
+// second.
+type RunSummary struct {
+	P25ms  float64 `json:"p25_ms"`
+	P50ms  float64 `json:"p50_ms"`
+	P95ms  float64 `json:"p95_ms"`
+	P99ms  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+
+	Accuracy    float64 `json:"accuracy"`
+	Throughput  float64 `json:"throughput"`
+	DropRate    float64 `json:"drop_rate"`
+	SLOMissRate float64 `json:"slo_miss_rate"`
+}
+
+func summaryFromDist(d *metrics.Dist) RunSummary {
+	return RunSummary{
+		P25ms:  d.Percentile(25),
+		P50ms:  d.Percentile(50),
+		P95ms:  d.Percentile(95),
+		P99ms:  d.Percentile(99),
+		MeanMS: d.Mean(),
+	}
+}
+
+// Result is the outcome of one scenario: the vanilla baseline, the
+// Apparate run, their deltas, and the adaptation activity.
+type Result struct {
+	Scenario   Scenario `json:"scenario"`
+	Generative bool     `json:"generative"`
+	// SLOms is the per-request latency objective (0 for generative).
+	SLOms float64 `json:"slo_ms"`
+	// Requests is the number of requests (or sequences) served.
+	Requests int `json:"requests"`
+
+	Vanilla  RunSummary `json:"vanilla"`
+	Apparate RunSummary `json:"apparate"`
+
+	// P50Win / P95Win / P99Win are Apparate's latency wins over vanilla
+	// at those percentiles, in percent (positive = faster).
+	P50Win float64 `json:"p50_win_pct"`
+	P95Win float64 `json:"p95_win_pct"`
+	P99Win float64 `json:"p99_win_pct"`
+	// AccDelta is vanilla accuracy minus Apparate accuracy — the realized
+	// accuracy loss the AccLoss constraint bounds.
+	AccDelta float64 `json:"acc_delta"`
+
+	// Adaptation activity, summed across replicas.
+	TuneRounds   int `json:"tune_rounds"`
+	AdjustRounds int `json:"adjust_rounds"`
+	ActiveRamps  int `json:"active_ramps"`
+}
+
+// kindFor maps a workload name to its calibration kind.
+func kindFor(name string) exitsim.Kind {
+	switch {
+	case name == "amazon":
+		return exitsim.KindAmazon
+	case name == "imdb":
+		return exitsim.KindIMDB
+	case name == "cnn-dailymail":
+		return exitsim.KindCNNDailyMail
+	case name == "squad":
+		return exitsim.KindSQuAD
+	}
+	return exitsim.KindVideo
+}
+
+// Validate checks the scenario without running it: the model exists, the
+// model/workload pairing matches the paper's corpus (CV models serve
+// video, NLP classifiers serve review streams, generative models serve
+// sequence workloads), and every enum parses.
+func (sc Scenario) Validate() error {
+	// Check the caller's raw enum values before Normalize canonicalizes
+	// axes away (a bad dispatch must error even at one replica).
+	if sc.Platform != "" {
+		if _, err := serving.ParsePlatform(sc.Platform); err != nil {
+			return err
+		}
+	}
+	if sc.Dispatch != "" {
+		if _, err := serving.ParseDispatch(sc.Dispatch); err != nil {
+			return err
+		}
+	}
+	sc = sc.Normalize()
+	m, err := model.ByName(sc.Model)
+	if err != nil {
+		return err
+	}
+	known := workload.IsGenerative(sc.Workload) || workload.IsVideo(sc.Workload) ||
+		sc.Workload == "amazon" || sc.Workload == "imdb"
+	if !known {
+		return fmt.Errorf("scenario: unknown workload %q", sc.Workload)
+	}
+	switch {
+	case workload.IsGenerative(sc.Workload) && !m.Generative:
+		return fmt.Errorf("scenario: model %s is not generative; cannot serve %s", sc.Model, sc.Workload)
+	case !workload.IsGenerative(sc.Workload) && m.Generative:
+		return fmt.Errorf("scenario: generative model %s cannot serve classification workload %s", sc.Model, sc.Workload)
+	case workload.IsVideo(sc.Workload) && !m.Family.IsCV():
+		return fmt.Errorf("scenario: non-CV model %s cannot serve video workload %s", sc.Model, sc.Workload)
+	case (sc.Workload == "amazon" || sc.Workload == "imdb") && m.Family.IsCV():
+		return fmt.Errorf("scenario: CV model %s cannot serve NLP workload %s", sc.Model, sc.Workload)
+	}
+	if sc.ExitRule != "" {
+		if _, err := exitrule.ByName(sc.ExitRule); err != nil {
+			return err
+		}
+	}
+	if sc.N <= 0 {
+		return fmt.Errorf("scenario: request count %d must be positive", sc.N)
+	}
+	if sc.RateMult <= 0 {
+		return fmt.Errorf("scenario: rate multiplier %g must be positive", sc.RateMult)
+	}
+	if sc.GenSlots < 0 || sc.GenFlush < 0 {
+		return fmt.Errorf("scenario: gen slots/flush must be non-negative (got %d/%d)", sc.GenSlots, sc.GenFlush)
+	}
+	return nil
+}
+
+// RunScenario executes one scenario end to end: vanilla baseline plus
+// the Apparate run on the same stream, single-replica or cluster,
+// classification or generative. It is deterministic: the same Scenario
+// always yields an identical Result, with no shared state between calls,
+// so scenarios are safe to run concurrently.
+func RunScenario(sc Scenario) (*Result, error) {
+	// Validate before Normalize: canonicalization collapses axes (e.g.
+	// dispatch at one replica) and must not mask a caller's bad value.
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	sc = sc.Normalize()
+	if sc.Generative() {
+		return runGenScenario(sc)
+	}
+	return runClassScenario(sc)
+}
+
+func runClassScenario(sc Scenario) (*Result, error) {
+	m, err := model.ByName(sc.Model)
+	if err != nil {
+		return nil, err
+	}
+	kind := kindFor(sc.Workload)
+	qps := 30 * sc.RateMult // video frame rate
+	if !workload.IsVideo(sc.Workload) {
+		// The trace-derived sustainable rate scales with cluster width:
+		// R replicas absorb R times the single-replica rate.
+		qps = trace.TargetQPS(m) * sc.RateMult * float64(sc.Replicas)
+	}
+	stream, err := workload.ByName(sc.Workload, sc.N, qps, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := Config{
+		AccuracyConstraint: sc.AccLoss,
+		RampBudget:         sc.RampBudget,
+		ExitRule:           sc.ExitRule,
+	}
+	cfg.Platform, _ = serving.ParsePlatform(sc.Platform)
+	res := &Result{Scenario: sc, Requests: stream.Len()}
+
+	if sc.Replicas == 1 {
+		sys := New(m, kind, cfg)
+		res.SLOms = sys.Opts.SLOms
+		v := sys.ServeVanilla(stream)
+		a := sys.Serve(stream)
+		fillClass(res, v, a)
+		ctl := sys.Controller()
+		res.TuneRounds = ctl.TuneRounds
+		res.AdjustRounds = ctl.AdjustRounds
+		res.ActiveRamps = len(sys.Handler.Cfg.Active)
+		return res, nil
+	}
+
+	dispatch, _ := serving.ParseDispatch(sc.Dispatch)
+	opts := serving.ClusterOptions{
+		Options:  serving.Options{Platform: cfg.Platform, SLOms: m.SLO(), MaxBatch: cfg.MaxBatch},
+		Replicas: sc.Replicas,
+		Dispatch: dispatch,
+	}
+	res.SLOms = opts.SLOms
+
+	// One Apparate controller per replica (§3): each replica adapts to
+	// the traffic slice it sees. makeHandler may be called more than
+	// once per index (LeastLoaded uses a dispatch-estimate pass), so we
+	// record the last handler built for each replica — that is the one
+	// that served the sub-stream.
+	handlers := make([]*serving.ApparateHandler, sc.Replicas)
+	mkApparate := func(i int) serving.Handler {
+		mm, _ := model.ByName(sc.Model)
+		h := serving.NewApparate(mm, exitsim.ProfileFor(mm, kind), cfg.RampBudget, controller.Config{
+			AccConstraint:     cfg.AccuracyConstraint,
+			DisableRampAdjust: cfg.DisableRampAdjust,
+		})
+		if cfg.ExitRule != "" {
+			rule, _ := exitrule.ByName(cfg.ExitRule)
+			h.Cfg.Rule = rule
+		}
+		handlers[i] = h
+		return h
+	}
+	mkVanilla := func(i int) serving.Handler {
+		mm, _ := model.ByName(sc.Model)
+		return &serving.VanillaHandler{Model: mm}
+	}
+	v := serving.RunCluster(stream.Requests, mkVanilla, opts)
+	a := serving.RunCluster(stream.Requests, mkApparate, opts)
+	fillClass(res, v.Merged, a.Merged)
+	for _, h := range handlers {
+		res.TuneRounds += h.Ctl.TuneRounds
+		res.AdjustRounds += h.Ctl.AdjustRounds
+		res.ActiveRamps += len(h.Cfg.Active)
+	}
+	return res, nil
+}
+
+func fillClass(res *Result, v, a *serving.Stats) {
+	vl, al := v.Latencies(), a.Latencies()
+	res.Vanilla = summaryFromDist(vl)
+	res.Apparate = summaryFromDist(al)
+	res.Vanilla.Accuracy, res.Apparate.Accuracy = v.Accuracy, a.Accuracy
+	res.Vanilla.Throughput, res.Apparate.Throughput = v.ThroughputQPS, a.ThroughputQPS
+	res.Vanilla.DropRate, res.Apparate.DropRate = v.DropRate, a.DropRate
+	res.Vanilla.SLOMissRate, res.Apparate.SLOMissRate = v.SLOMissRate, a.SLOMissRate
+	fillWins(res)
+}
+
+func runGenScenario(sc Scenario) (*Result, error) {
+	m, err := model.ByName(sc.Model)
+	if err != nil {
+		return nil, err
+	}
+	kind := kindFor(sc.Workload)
+	stream, err := workload.GenByName(sc.Workload, sc.N, 2*sc.RateMult, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		AccuracyConstraint: sc.AccLoss,
+		RampBudget:         sc.RampBudget,
+		GenSlots:           sc.GenSlots,
+		GenFlush:           sc.GenFlush,
+	}
+	g := NewGen(m, kind, cfg)
+	v := g.ServeVanilla(stream)
+	a := g.Serve(stream)
+
+	res := &Result{Scenario: sc, Generative: true, Requests: stream.Len()}
+	res.Vanilla = summaryFromDist(v.TPT())
+	res.Apparate = summaryFromDist(a.TPT())
+	res.Vanilla.Accuracy, res.Apparate.Accuracy = v.MeanScore, a.MeanScore
+	res.Vanilla.Throughput, res.Apparate.Throughput = v.TokensPerSec, a.TokensPerSec
+	fillWins(res)
+	res.TuneRounds = g.Policy.TuneRounds
+	res.AdjustRounds = g.Policy.MoveRounds
+	res.ActiveRamps = 1 // generative serving uses a single adjustable ramp (§4.4)
+	return res, nil
+}
+
+func fillWins(res *Result) {
+	res.P50Win = metrics.WinPercent(res.Vanilla.P50ms, res.Apparate.P50ms)
+	res.P95Win = metrics.WinPercent(res.Vanilla.P95ms, res.Apparate.P95ms)
+	res.P99Win = metrics.WinPercent(res.Vanilla.P99ms, res.Apparate.P99ms)
+	res.AccDelta = res.Vanilla.Accuracy - res.Apparate.Accuracy
+}

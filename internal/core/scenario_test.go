@@ -1,0 +1,176 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestScenarioValidate(t *testing.T) {
+	bad := []Scenario{
+		{Model: "no-such-model", Workload: "video-0", N: 100},
+		{Model: "resnet50", Workload: "no-such-workload", N: 100},
+		{Model: "resnet50", Workload: "amazon", N: 100},   // CV model, NLP workload
+		{Model: "bert-base", Workload: "video-0", N: 100}, // NLP model, video
+		{Model: "bert-base", Workload: "squad", N: 100},   // classifier, generative workload
+		{Model: "t5-large", Workload: "imdb", N: 100},     // generative model, classification
+		{Model: "resnet50", Workload: "video-0", N: 100, Platform: "nope"},
+		{Model: "resnet50", Workload: "video-0", N: 100, Dispatch: "nope"},
+		{Model: "resnet50", Workload: "video-0", N: 100, ExitRule: "nope"},
+		{Model: "resnet50", Workload: "video-0", N: 0},
+		{Model: "resnet50", Workload: "video-0", N: 100, RateMult: -1},
+	}
+	for _, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", sc)
+		}
+	}
+	good := Scenario{Model: "resnet50", Workload: "video-0", N: 100}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate rejected %+v: %v", good, err)
+	}
+}
+
+// RunScenario must reject a bad dispatch even at one replica, where
+// Normalize would otherwise collapse the axis and mask the typo.
+func TestRunScenarioRejectsBadEnumsBeforeNormalize(t *testing.T) {
+	_, err := RunScenario(Scenario{Model: "resnet50", Workload: "video-0", N: 100, Dispatch: "fifo"})
+	if err == nil {
+		t.Fatal("RunScenario accepted dispatch \"fifo\"")
+	}
+	_, err = RunScenario(Scenario{Model: "t5-large", Workload: "squad", N: 5, Platform: "nope"})
+	if err == nil {
+		t.Fatal("RunScenario accepted platform \"nope\" on a generative scenario")
+	}
+}
+
+func TestScenarioNormalizeCanonicalizes(t *testing.T) {
+	sc := Scenario{Model: "t5-large", Workload: "squad", N: 10,
+		Platform: "tf-serve", Dispatch: "least-loaded", Replicas: 4}.Normalize()
+	if sc.Platform != "clockwork" || sc.Dispatch != "round-robin" || sc.Replicas != 1 {
+		t.Fatalf("generative scenario not canonicalized: %+v", sc)
+	}
+	one := Scenario{Model: "resnet50", Workload: "video-0", N: 10, Dispatch: "least-loaded"}.Normalize()
+	if one.Dispatch != "round-robin" {
+		t.Fatalf("dispatch should collapse at one replica: %+v", one)
+	}
+}
+
+func TestScenarioIdentityExcludesSeed(t *testing.T) {
+	a := Scenario{Model: "resnet50", Workload: "video-0", N: 100, Seed: 1}
+	b := a
+	b.Seed = 99
+	if a.Identity() != b.Identity() {
+		t.Fatal("Identity must not depend on the seed")
+	}
+	if a.Key() == b.Key() {
+		t.Fatal("Key must depend on the seed")
+	}
+}
+
+func TestRunScenarioClassification(t *testing.T) {
+	res, err := RunScenario(Scenario{Model: "resnet50", Workload: "video-0", N: 3000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generative {
+		t.Fatal("classification scenario marked generative")
+	}
+	if res.Requests != 3000 || res.SLOms <= 0 {
+		t.Fatalf("bad run metadata: %+v", res)
+	}
+	if res.Apparate.P50ms >= res.Vanilla.P50ms {
+		t.Fatalf("apparate median %.2f not below vanilla %.2f", res.Apparate.P50ms, res.Vanilla.P50ms)
+	}
+	if res.AccDelta > 0.011+0.005 {
+		t.Fatalf("accuracy loss %.4f far above the 1%% constraint", res.AccDelta)
+	}
+	if res.TuneRounds == 0 && res.AdjustRounds == 0 {
+		t.Fatal("no adaptation recorded")
+	}
+}
+
+func TestRunScenarioCluster(t *testing.T) {
+	res, err := RunScenario(Scenario{
+		Model: "bert-base", Workload: "amazon", N: 3000, Seed: 2,
+		Replicas: 3, Dispatch: "least-loaded",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TuneRounds == 0 {
+		t.Fatal("cluster run recorded no tuning across replicas")
+	}
+	if res.ActiveRamps == 0 {
+		t.Fatal("cluster run recorded no active ramps")
+	}
+	if res.Vanilla.Throughput <= 0 || res.Apparate.Throughput <= 0 {
+		t.Fatalf("cluster throughput missing: %+v", res)
+	}
+}
+
+func TestRunScenarioGenerative(t *testing.T) {
+	res, err := RunScenario(Scenario{Model: "t5-large", Workload: "cnn-dailymail", N: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Generative {
+		t.Fatal("generative scenario not marked")
+	}
+	if res.Requests != 20 {
+		t.Fatalf("served %d sequences, want 20", res.Requests)
+	}
+	if res.Vanilla.Accuracy != 1 {
+		t.Fatalf("vanilla sequence score %v, want 1 (no exits)", res.Vanilla.Accuracy)
+	}
+	if res.Apparate.Throughput <= 0 {
+		t.Fatal("generative throughput missing")
+	}
+}
+
+func TestRunScenarioGenEngineKnobs(t *testing.T) {
+	base := Scenario{Model: "t5-large", Workload: "cnn-dailymail", N: 20, Seed: 3}
+	tuned := base
+	tuned.GenSlots, tuned.GenFlush = 2, 4
+	if base.Identity() == tuned.Identity() {
+		t.Fatal("gen engine knobs missing from Identity")
+	}
+	a, err := RunScenario(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(tuned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fewer slots mean smaller decode batches, so each full step is
+	// faster: vanilla per-token TPT must drop.
+	if b.Vanilla.P50ms >= a.Vanilla.P50ms {
+		t.Fatalf("2-slot vanilla TPT %.2fms not below default-8 %.2fms",
+			b.Vanilla.P50ms, a.Vanilla.P50ms)
+	}
+	// On classification scenarios the knobs are inert and normalize away.
+	cls := Scenario{Model: "resnet50", Workload: "video-0", N: 100, GenSlots: 2}
+	if cls.Normalize().GenSlots != 0 {
+		t.Fatal("gen knobs must collapse on classification scenarios")
+	}
+	if _, err := RunScenario(Scenario{Model: "t5-large", Workload: "squad", N: 5, GenSlots: -1}); err == nil {
+		t.Fatal("negative gen-slots accepted")
+	}
+}
+
+// TestRunScenarioDeterministic: the same scenario yields an identical
+// result — the property the sweep's parallelism rests on.
+func TestRunScenarioDeterministic(t *testing.T) {
+	sc := Scenario{Model: "resnet18", Workload: "video-2", N: 1500, Seed: 11, Replicas: 2}
+	a, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("RunScenario is not deterministic for identical scenarios")
+	}
+}

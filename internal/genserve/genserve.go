@@ -49,6 +49,11 @@ type Stats struct {
 	MeanMatchRate float64
 	// MeanScore averages the ROUGE-L / F1 proxy across sequences.
 	MeanScore float64
+	// TotalTokens counts every generated token across sequences.
+	TotalTokens int
+	// TokensPerSec is the delivered token throughput over the makespan
+	// (first arrival to last sequence completion).
+	TokensPerSec float64
 }
 
 // ScoreFromMatchRate maps a token match rate to a sequence-quality score
@@ -227,6 +232,16 @@ func (e *Engine) Run(stream *workload.GenStream, pol Policy) *Stats {
 	if len(stats.Seqs) > 0 {
 		stats.MeanMatchRate = sumRate / float64(len(stats.Seqs))
 		stats.MeanScore = sumScore / float64(len(stats.Seqs))
+		lastDone := 0.0
+		for _, seq := range stats.Seqs {
+			stats.TotalTokens += len(seq.Tokens)
+			if seq.DoneMS > lastDone {
+				lastDone = seq.DoneMS
+			}
+		}
+		if span := lastDone - stream.Requests[0].ArrivalMS; span > 0 {
+			stats.TokensPerSec = float64(stats.TotalTokens) / span * 1000
+		}
 	}
 	return stats
 }

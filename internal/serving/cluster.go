@@ -31,6 +31,21 @@ func (d Dispatch) String() string {
 	return fmt.Sprintf("Dispatch(%d)", int(d))
 }
 
+// Dispatches lists the supported dispatch policy names in canonical
+// order.
+func Dispatches() []string { return []string{"round-robin", "least-loaded"} }
+
+// ParseDispatch maps a policy name to its Dispatch value.
+func ParseDispatch(name string) (Dispatch, error) {
+	switch name {
+	case "round-robin":
+		return RoundRobin, nil
+	case "least-loaded":
+		return LeastLoaded, nil
+	}
+	return 0, fmt.Errorf("serving: unknown dispatch policy %q (want round-robin | least-loaded)", name)
+}
+
 // ClusterOptions configures a multi-replica run. The paper's platforms
 // scale models across replicas decided by the serving platform, and
 // Apparate attaches one controller per replica (§3, implementation

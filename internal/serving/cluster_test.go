@@ -108,3 +108,80 @@ func TestDispatchStrings(t *testing.T) {
 		t.Fatal("bad dispatch names")
 	}
 }
+
+func TestParsePlatformDispatchRoundTrip(t *testing.T) {
+	for _, name := range Platforms() {
+		p, err := ParsePlatform(name)
+		if err != nil || p.String() != name {
+			t.Fatalf("ParsePlatform(%q) = %v, %v", name, p, err)
+		}
+	}
+	for _, name := range Dispatches() {
+		d, err := ParseDispatch(name)
+		if err != nil || d.String() != name {
+			t.Fatalf("ParseDispatch(%q) = %v, %v", name, d, err)
+		}
+	}
+	if _, err := ParsePlatform("nope"); err == nil {
+		t.Fatal("ParsePlatform accepted unknown name")
+	}
+	if _, err := ParseDispatch("nope"); err == nil {
+		t.Fatal("ParseDispatch accepted unknown name")
+	}
+}
+
+// TestRoundRobinOrdering pins the dispatch contract: request i lands on
+// replica i mod R, and each replica sees its slice in arrival order.
+func TestRoundRobinOrdering(t *testing.T) {
+	m := model.ResNet50()
+	s := workload.Video(0, 100, 30, 55)
+	// A generous SLO so nothing drops and every request is observable.
+	opts := Options{Platform: Clockwork, SLOms: 10 * m.SLO()}
+	const replicas = 3
+	cluster := RunCluster(s.Requests, func(int) Handler { return &VanillaHandler{Model: m} },
+		ClusterOptions{Options: opts, Replicas: replicas, Dispatch: RoundRobin})
+	for i, st := range cluster.PerReplica {
+		prev := -1
+		for _, r := range st.Results {
+			if r.ID%replicas != i {
+				t.Fatalf("replica %d served request %d (want ids ≡ %d mod %d)", i, r.ID, i, replicas)
+			}
+			if r.ID <= prev {
+				t.Fatalf("replica %d results out of arrival order: %d after %d", i, r.ID, prev)
+			}
+			prev = r.ID
+		}
+		if len(st.Results) == 0 {
+			t.Fatalf("replica %d received no requests", i)
+		}
+	}
+}
+
+// TestLeastLoadedTieBreaking pins the tie rule: when several replicas
+// carry equal backlog, the lowest-indexed one wins, so a burst of
+// simultaneous arrivals spreads deterministically as 0,1,2,0,1,2,...
+func TestLeastLoadedTieBreaking(t *testing.T) {
+	m := model.ResNet50()
+	const n, replicas = 12, 3
+	reqs := make([]workload.Request, n)
+	for i := range reqs {
+		// All arrive at t=0: every assignment starts from a tie.
+		reqs[i] = workload.Request{ID: i, ArrivalMS: 0}
+	}
+	opts := Options{Platform: Clockwork, SLOms: 100 * m.SLO()}
+	cluster := RunCluster(reqs, func(int) Handler { return &VanillaHandler{Model: m} },
+		ClusterOptions{Options: opts, Replicas: replicas, Dispatch: LeastLoaded})
+	// Equal batch-1 latency per request means backlogs stay balanced and
+	// every round of assignments re-ties; the strict-inequality rule must
+	// then cycle 0,1,2 exactly like round-robin.
+	for i, st := range cluster.PerReplica {
+		if len(st.Results) != n/replicas {
+			t.Fatalf("replica %d served %d requests, want %d", i, len(st.Results), n/replicas)
+		}
+		for _, r := range st.Results {
+			if r.ID%replicas != i {
+				t.Fatalf("tie-break sent request %d to replica %d (want %d)", r.ID, i, r.ID%replicas)
+			}
+		}
+	}
+}

@@ -45,6 +45,20 @@ func (p Platform) String() string {
 	return fmt.Sprintf("Platform(%d)", int(p))
 }
 
+// Platforms lists the supported platform names in canonical order.
+func Platforms() []string { return []string{"clockwork", "tf-serve"} }
+
+// ParsePlatform maps a platform name to its Platform value.
+func ParsePlatform(name string) (Platform, error) {
+	switch name {
+	case "clockwork":
+		return Clockwork, nil
+	case "tf-serve":
+		return TFServe, nil
+	}
+	return 0, fmt.Errorf("serving: unknown platform %q (want clockwork | tf-serve)", name)
+}
+
 // Options configures a serving run.
 type Options struct {
 	Platform Platform

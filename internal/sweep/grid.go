@@ -1,0 +1,305 @@
+// Package sweep is the parallel scenario-sweep engine: it expands a
+// grid specification into the cartesian product of scenario axes,
+// executes the scenarios concurrently on a bounded worker pool with
+// deterministic per-scenario seeds, and emits ranked results as JSON,
+// CSV, or a terminal summary table. The paper's evaluation — {8 CV, 6
+// NLP, 2 generative models} × {10 classification + 2 generative
+// workloads} × {2 platforms} × parameter settings — is one Grid away,
+// and the same machinery backs rate sweeps, replica scaling studies,
+// and regression gates.
+package sweep
+
+import (
+	"fmt"
+	"hash/fnv"
+	"path"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/serving"
+	"repro/internal/workload"
+)
+
+// Grid is a scenario-grid specification. Empty axes take the full
+// supported range (every model, every workload, both platforms) or the
+// paper's default parameter (one replica, rate 1×, budget 0.02, accuracy
+// loss 0.01). Incompatible model/workload pairings — a ResNet on an NLP
+// stream, a classifier on a generative workload — are skipped during
+// expansion rather than erroring, so "all models × all workloads"
+// means "every pairing the paper's corpus defines".
+type Grid struct {
+	Models     []string
+	Workloads  []string
+	Platforms  []string
+	Dispatches []string
+	Replicas   []int
+	RateMults  []float64
+	Budgets    []float64
+	AccLosses  []float64
+	ExitRules  []string
+
+	// N is the request count per classification scenario; GenN is the
+	// sequence count per generative scenario (generative decoding costs
+	// far more simulated work per item).
+	N    int
+	GenN int
+
+	// Seed is the sweep's base seed. Each scenario derives its own seed
+	// from (Seed, scenario identity), so a scenario's stream does not
+	// depend on where in the grid it sits or how many workers run it.
+	Seed uint64
+
+	// Only and Skip are per-axis include/exclude filters: glob patterns
+	// matched against the scenario's axis tokens ("model=resnet50",
+	// "workload=video-*", "platform=tf-serve", "replicas=4",
+	// "rate=1.5", "budget=0.02", "accloss=0.01", "rule=entropy").
+	// A scenario is kept when, for every axis that has at least one
+	// Only pattern, one of that axis's patterns matches — and no Skip
+	// pattern matches any token. A pattern without "=" matches its
+	// value against every axis.
+	Only []string
+	Skip []string
+}
+
+func (g Grid) withDefaults() Grid {
+	if len(g.Models) == 0 {
+		for _, m := range model.All() {
+			g.Models = append(g.Models, m.Name)
+		}
+	}
+	if len(g.Workloads) == 0 {
+		g.Workloads = append(workload.Names(), workload.GenNames()...)
+	}
+	if len(g.Platforms) == 0 {
+		g.Platforms = serving.Platforms()
+	}
+	if len(g.Dispatches) == 0 {
+		g.Dispatches = []string{"round-robin"}
+	}
+	if len(g.Replicas) == 0 {
+		g.Replicas = []int{1}
+	}
+	if len(g.RateMults) == 0 {
+		g.RateMults = []float64{1}
+	}
+	if len(g.Budgets) == 0 {
+		g.Budgets = []float64{0.02}
+	}
+	if len(g.AccLosses) == 0 {
+		g.AccLosses = []float64{0.01}
+	}
+	if len(g.ExitRules) == 0 {
+		g.ExitRules = []string{""}
+	}
+	if g.N == 0 {
+		g.N = 4000
+	}
+	if g.GenN == 0 {
+		g.GenN = 40
+	}
+	return g
+}
+
+// axisFilter groups glob patterns by the axis they constrain.
+type axisFilter map[string][]string
+
+func parseFilters(patterns []string) (axisFilter, error) {
+	f := axisFilter{}
+	for _, p := range patterns {
+		axis, val := "", p
+		if i := strings.IndexByte(p, '='); i >= 0 {
+			axis, val = p[:i], p[i+1:]
+		}
+		if _, err := path.Match(val, ""); err != nil {
+			return nil, fmt.Errorf("sweep: bad filter pattern %q: %v", p, err)
+		}
+		f[axis] = append(f[axis], val)
+	}
+	return f, nil
+}
+
+// axisTokens lists a scenario's filterable axis values.
+func axisTokens(sc core.Scenario) map[string]string {
+	t := map[string]string{
+		"model":    sc.Model,
+		"workload": sc.Workload,
+		"platform": sc.Platform,
+		"dispatch": sc.Dispatch,
+		"replicas": fmt.Sprintf("%d", sc.Replicas),
+		"rate":     fmt.Sprintf("%g", sc.RateMult),
+		"budget":   fmt.Sprintf("%g", sc.RampBudget),
+		"accloss":  fmt.Sprintf("%g", sc.AccLoss),
+	}
+	if sc.ExitRule != "" {
+		t["rule"] = sc.ExitRule
+	}
+	return t
+}
+
+// keep applies Only semantics: every constrained axis must match.
+func (f axisFilter) keep(tokens map[string]string) bool {
+	for axis, pats := range f {
+		matched := false
+		for _, pat := range pats {
+			if axis == "" {
+				for _, v := range tokens {
+					if ok, _ := path.Match(pat, v); ok {
+						matched = true
+						break
+					}
+				}
+			} else if ok, _ := path.Match(pat, tokens[axis]); ok {
+				matched = true
+			}
+			if matched {
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}
+
+// drops applies Skip semantics: any match excludes the scenario.
+func (f axisFilter) drops(tokens map[string]string) bool {
+	for axis, pats := range f {
+		for _, pat := range pats {
+			if axis == "" {
+				for _, v := range tokens {
+					if ok, _ := path.Match(pat, v); ok {
+						return true
+					}
+				}
+			} else if ok, _ := path.Match(pat, tokens[axis]); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// compatible reports whether the model can serve the workload under the
+// paper's corpus pairing (mirrors core.Scenario.Validate without
+// constructing the model twice per grid point).
+func compatible(m *model.Model, wl string) bool {
+	switch {
+	case workload.IsGenerative(wl):
+		return m.Generative
+	case m.Generative:
+		return false
+	case workload.IsVideo(wl):
+		return m.Family.IsCV()
+	default: // amazon, imdb
+		return !m.Family.IsCV()
+	}
+}
+
+// Expand enumerates the grid's cartesian product, drops incompatible
+// pairings, canonicalizes scenarios (generative workloads collapse the
+// platform/dispatch/replica axes), deduplicates, applies the Only/Skip
+// filters, and derives each scenario's seed. The result is sorted by
+// scenario identity, so the same grid always expands to the same
+// ordered slice regardless of axis order in the specification.
+func (g Grid) Expand() ([]core.Scenario, error) {
+	g = g.withDefaults()
+	only, err := parseFilters(g.Only)
+	if err != nil {
+		return nil, err
+	}
+	skip, err := parseFilters(g.Skip)
+	if err != nil {
+		return nil, err
+	}
+
+	models := make(map[string]*model.Model, len(g.Models))
+	for _, name := range g.Models {
+		m, err := model.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		models[name] = m
+	}
+
+	seen := map[string]bool{}
+	var out []core.Scenario
+	var ids []string // out[i]'s identity, kept for the final sort
+	for _, mName := range g.Models {
+		for _, wl := range g.Workloads {
+			if !compatible(models[mName], wl) {
+				continue
+			}
+			n := g.N
+			if workload.IsGenerative(wl) {
+				n = g.GenN
+			}
+			for _, plat := range g.Platforms {
+				for _, disp := range g.Dispatches {
+					for _, rep := range g.Replicas {
+						for _, rate := range g.RateMults {
+							for _, budget := range g.Budgets {
+								for _, accLoss := range g.AccLosses {
+									for _, rule := range g.ExitRules {
+										sc := core.Scenario{
+											Model: mName, Workload: wl,
+											Platform: plat, Dispatch: disp, Replicas: rep,
+											N: n, RateMult: rate,
+											RampBudget: budget, AccLoss: accLoss,
+											ExitRule: rule,
+										}.Normalize()
+										id := sc.Identity()
+										if seen[id] {
+											continue
+										}
+										seen[id] = true
+										tokens := axisTokens(sc)
+										if !only.keep(tokens) || skip.drops(tokens) {
+											continue
+										}
+										if err := sc.Validate(); err != nil {
+											return nil, err
+										}
+										sc.Seed = DeriveSeed(g.Seed, id)
+										out = append(out, sc)
+										ids = append(ids, id)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Sort(&byIdentity{out, ids})
+	return out, nil
+}
+
+// byIdentity sorts scenarios and their precomputed identities together.
+type byIdentity struct {
+	scs []core.Scenario
+	ids []string
+}
+
+func (s *byIdentity) Len() int           { return len(s.scs) }
+func (s *byIdentity) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s *byIdentity) Swap(i, j int) {
+	s.scs[i], s.scs[j] = s.scs[j], s.scs[i]
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+}
+
+// DeriveSeed maps (base seed, scenario identity) to the scenario's
+// workload seed: an FNV-1a hash of the identity mixed with the base
+// through one SplitMix64 step. The derivation depends only on the
+// scenario's own axes, never on grid position, worker count, or
+// completion order — the root of the sweep's byte-identical determinism
+// guarantee.
+func DeriveSeed(base uint64, identity string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(identity))
+	return rng.New(h.Sum64() ^ base).Uint64()
+}

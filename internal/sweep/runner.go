@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Result is one sweep entry: the scenario's outcome, or the error that
+// kept it from completing. Failed scenarios keep their slot so a sweep's
+// output always has one row per expanded scenario.
+type Result struct {
+	core.Result
+	Err string `json:"error,omitempty"`
+}
+
+// Options configures a sweep run.
+type Options struct {
+	// Workers bounds concurrent scenario executions; 0 means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, is called after each scenario completes
+	// with the number done so far and the total. Calls are serialized
+	// but arrive in completion order, which varies run to run — use it
+	// for progress display only, never for output.
+	Progress func(done, total int)
+}
+
+// Run executes the scenarios on a bounded worker pool. Results are
+// returned in scenario order, not completion order, and every scenario
+// derives all randomness from its own seed, so the output is identical
+// for any worker count.
+func Run(scenarios []core.Scenario, opts Options) []Result {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	results := make([]Result, len(scenarios))
+	if len(scenarios) == 0 {
+		return results
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runOne(scenarios[i])
+				if opts.Progress != nil {
+					mu.Lock()
+					done++
+					opts.Progress(done, len(scenarios))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range scenarios {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single scenario, converting panics into per-scenario
+// errors so one pathological grid point cannot take down a sweep.
+func runOne(sc core.Scenario) (out Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = Result{Result: core.Result{Scenario: sc}, Err: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	res, err := core.RunScenario(sc)
+	if err != nil {
+		return Result{Result: core.Result{Scenario: sc}, Err: err.Error()}
+	}
+	return Result{Result: *res}
+}

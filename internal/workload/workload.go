@@ -208,6 +208,35 @@ func IMDB(n int, meanQPS float64, seed uint64) *Stream {
 	return &Stream{Name: "imdb", Kind: exitsim.KindIMDB, Requests: reqs}
 }
 
+// Names lists every classification workload name in canonical order:
+// the eight videos, then the two NLP streams.
+func Names() []string {
+	out := make([]string, 0, 10)
+	for id := 0; id < 8; id++ {
+		out = append(out, fmt.Sprintf("video-%d", id))
+	}
+	return append(out, "amazon", "imdb")
+}
+
+// GenNames lists every generative workload name in canonical order.
+func GenNames() []string { return []string{"cnn-dailymail", "squad"} }
+
+// IsGenerative reports whether the named workload drives the generative
+// serving path (sequences and tokens) rather than classification
+// requests.
+func IsGenerative(name string) bool {
+	return name == "cnn-dailymail" || name == "squad"
+}
+
+// IsVideo reports whether the named workload is one of the fixed-rate
+// video streams (whose arrival rate is a frame rate, not a trace-derived
+// QPS).
+func IsVideo(name string) bool {
+	var id int
+	_, err := fmt.Sscanf(name, "video-%d", &id)
+	return err == nil && id >= 0 && id <= 7
+}
+
 // ByName builds a named classification workload ("video-0".."video-7",
 // "amazon", "imdb") with n requests at the given rate.
 func ByName(name string, n int, qps float64, seed uint64) (*Stream, error) {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench sweep-smoke ci
+.PHONY: build test vet race bench sweep-smoke mem-smoke ci
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,15 @@ sweep-smoke:
 	$(GO) run ./cmd/apparate-sweep $(SMOKE_FLAGS) -workers 8 -out /tmp/sweep-w8.json
 	$(GO) run ./cmd/apparate-sweep $(SMOKE_FLAGS) -workers 1 -out /tmp/sweep-w1.json >/dev/null
 	cmp /tmp/sweep-w1.json /tmp/sweep-w8.json
-	@echo "sweep-smoke: deterministic across worker counts"
+	$(GO) run ./cmd/apparate-sweep $(SMOKE_FLAGS) -metrics sketch -workers 8 -out /tmp/sweep-sk-w8.json >/dev/null
+	$(GO) run ./cmd/apparate-sweep $(SMOKE_FLAGS) -metrics sketch -workers 1 -out /tmp/sweep-sk-w1.json >/dev/null
+	cmp /tmp/sweep-sk-w1.json /tmp/sweep-sk-w8.json
+	@echo "sweep-smoke: deterministic across worker counts (exact + sketch)"
 
-ci: build test vet race sweep-smoke
+# Memory guard: one 1,000,000-request scenario in sketch mode must
+# complete under a 256 MiB soft heap limit with a bounded live heap —
+# the streaming pipeline's O(1)-memory claim, enforced.
+mem-smoke:
+	GOMEMLIMIT=256MiB APPARATE_MEM_GUARD=1 $(GO) test -run TestStreamingMillionBoundedMemory -v .
+
+ci: build test vet race sweep-smoke mem-smoke

@@ -11,6 +11,7 @@
 //	apparate-serve -model bert-base -workload amazon -platform tf-serve
 //	apparate-serve -model bert-base -workload amazon -replicas 4 -dispatch least-loaded
 //	apparate-serve -model t5-large -workload cnn-dailymail -n 500
+//	apparate-serve -model resnet18 -workload video-0 -n 1000000 -metrics sketch
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 		exitRule  = flag.String("exit-rule", "", "exit rule override: entropy | windowed-K | patience-P")
 		genSlots  = flag.Int("gen-slots", 0, "generative continuous-batching slots (0 = engine default)")
 		genFlush  = flag.Int("gen-flush", 0, "generative pending-token flush threshold (0 = engine default)")
+		metricsMd = flag.String("metrics", "exact", "latency recorder: exact | sketch (sketch = O(1) memory for huge -n)")
 		seed      = flag.Uint64("seed", 1, "workload seed")
 	)
 	flag.Parse()
@@ -54,6 +56,7 @@ func main() {
 		ExitRule:   *exitRule,
 		GenSlots:   *genSlots,
 		GenFlush:   *genFlush,
+		Metrics:    *metricsMd,
 	}
 	res, err := core.RunScenario(sc)
 	if err != nil {

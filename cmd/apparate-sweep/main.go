@@ -86,6 +86,7 @@ func main() {
 		budgets    = flag.String("budgets", "", "comma-separated ramp budgets (default: 0.02)")
 		accLosses  = flag.String("acc-losses", "", "comma-separated accuracy-loss constraints (default: 0.01)")
 		rules      = flag.String("exit-rules", "", "comma-separated exit rules (default: entropy)")
+		metricsMd  = flag.String("metrics", "", "comma-separated recorder modes: exact | sketch (default: exact)")
 		n          = flag.Int("n", 4000, "requests per classification scenario")
 		genN       = flag.Int("gen-n", 40, "sequences per generative scenario")
 		seed       = flag.Uint64("seed", 1, "base seed; per-scenario seeds derive from it")
@@ -111,6 +112,7 @@ func main() {
 		Budgets:    splitFloats(*budgets, "budgets"),
 		AccLosses:  splitFloats(*accLosses, "acc-losses"),
 		ExitRules:  splitList(*rules),
+		Metrics:    splitList(*metricsMd),
 		N:          *n,
 		GenN:       *genN,
 		Seed:       *seed,

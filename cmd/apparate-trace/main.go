@@ -2,10 +2,16 @@
 // traces: per-second arrival rates, difficulty statistics, and regime
 // structure. Useful for understanding what the adaptation loops face.
 //
+// The trace is streamed from the workload iterator in a single pass:
+// nothing is materialized, so inspecting a million-request trace costs
+// the same memory as a thousand-request one (with -metrics sketch, the
+// difficulty distribution is sketched too, keeping the whole run O(1)).
+//
 // Usage:
 //
 //	apparate-trace -workload amazon -n 20000 -qps 30
 //	apparate-trace -workload video-1 -n 12000
+//	apparate-trace -workload amazon -n 1000000 -qps 200 -metrics sketch
 package main
 
 import (
@@ -24,23 +30,47 @@ func main() {
 		qps    = flag.Float64("qps", 30, "mean arrival rate")
 		seed   = flag.Uint64("seed", 1, "seed")
 		binSec = flag.Float64("bin", 10, "histogram bin width in seconds")
+		mdName = flag.String("metrics", "exact", "difficulty recorder: exact | sketch (use sketch for -n in the millions)")
 	)
 	flag.Parse()
 
+	mode, err := metrics.ParseMode(*mdName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	stream, err := workload.ByName(*wlName, *n, *qps, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	diff := metrics.NewDist(stream.Len())
+
+	// One streaming pass: difficulty stats, bias counts, and the
+	// per-second arrival histogram accumulate as requests are generated.
+	diff := metrics.NewRecorder(mode, stream.Len())
 	biased := 0
-	for _, r := range stream.Requests {
+	bin := *binSec * 1000
+	counts := map[int]int{}
+	maxBin := 0
+	last := 0.0
+	it := stream.Iter()
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
 		diff.Add(r.Sample.Difficulty)
 		if r.Sample.Bias > 0 {
 			biased++
 		}
+		b := int(r.ArrivalMS / bin)
+		counts[b]++
+		if b > maxBin {
+			maxBin = b
+		}
+		last = r.ArrivalMS
 	}
-	last := stream.Requests[stream.Len()-1].ArrivalMS
+
 	fmt.Printf("workload=%s n=%d span=%.1fs realized_rate=%.1fqps\n",
 		stream.Name, stream.Len(), last/1000, float64(stream.Len())/(last/1000))
 	s := diff.Summarize()
@@ -49,16 +79,6 @@ func main() {
 
 	// Arrival-rate histogram over time bins.
 	fmt.Println("\narrival rate over time:")
-	bin := *binSec * 1000
-	counts := map[int]int{}
-	maxBin := 0
-	for _, r := range stream.Requests {
-		b := int(r.ArrivalMS / bin)
-		counts[b]++
-		if b > maxBin {
-			maxBin = b
-		}
-	}
 	step := 1
 	if maxBin > 24 {
 		step = maxBin / 24

@@ -19,7 +19,7 @@ func videoSetup() (*model.Model, exitsim.Profile, *workload.Stream) {
 func TestOptimalNeverWrongNeverSlower(t *testing.T) {
 	m, p, s := videoSetup()
 	h := NewOptimal(m, p)
-	for _, req := range s.Requests[:1000] {
+	for _, req := range s.Materialize()[:1000] {
 		out := h.Serve(req.Sample, 1)
 		if !out.Correct {
 			t.Fatal("optimal produced an incorrect result")
@@ -33,8 +33,8 @@ func TestOptimalNeverWrongNeverSlower(t *testing.T) {
 func TestOptimalBeatsApparate(t *testing.T) {
 	m, p, s := videoSetup()
 	opts := serving.Options{Platform: serving.Clockwork, SLOms: m.SLO()}
-	opt := serving.Run(s.Requests, NewOptimal(m, p), opts)
-	app := serving.Run(s.Requests, serving.NewApparate(model.ResNet50(), p, 0.02, controller.Config{}), opts)
+	opt := serving.Run(s.Iter(), NewOptimal(m, p), opts)
+	app := serving.Run(s.Iter(), serving.NewApparate(model.ResNet50(), p, 0.02, controller.Config{}), opts)
 	if opt.Latencies().Median() > app.Latencies().Median() {
 		t.Fatalf("optimal median %v above apparate %v", opt.Latencies().Median(), app.Latencies().Median())
 	}
@@ -172,8 +172,8 @@ func TestApparateBeatsTwoLayerOnEasyInputs(t *testing.T) {
 	m, p, s := videoSetup()
 	opts := serving.Options{Platform: serving.Clockwork, SLOms: m.SLO()}
 	boot := s.Samples()[:1000]
-	two := serving.Run(s.Requests, NewTwoLayer(m, p, boot, 0.01), opts)
-	app := serving.Run(s.Requests, serving.NewApparate(model.ResNet50(), p, 0.02, controller.Config{}), opts)
+	two := serving.Run(s.Iter(), NewTwoLayer(m, p, boot, 0.01), opts)
+	app := serving.Run(s.Iter(), serving.NewApparate(model.ResNet50(), p, 0.02, controller.Config{}), opts)
 	if app.Latencies().Median() >= two.Latencies().Median() {
 		t.Fatalf("apparate median %v not below two-layer %v",
 			app.Latencies().Median(), two.Latencies().Median())
@@ -184,11 +184,11 @@ func TestOnlineOptimalAccurateAndFast(t *testing.T) {
 	m, p, s := videoSetup()
 	opts := serving.Options{Platform: serving.Clockwork, SLOms: m.SLO()}
 	oo := NewOnlineOptimal(m, p, 0.02, s.Samples(), 0.01)
-	stats := serving.Run(s.Requests, oo, opts)
+	stats := serving.Run(s.Iter(), oo, opts)
 	if stats.Accuracy < 0.985 {
 		t.Fatalf("online optimal accuracy %v below budget margin", stats.Accuracy)
 	}
-	vanilla := serving.Run(s.Requests, &serving.VanillaHandler{Model: m}, opts)
+	vanilla := serving.Run(s.Iter(), &serving.VanillaHandler{Model: m}, opts)
 	if stats.Latencies().Median() >= vanilla.Latencies().Median() {
 		t.Fatal("online optimal no faster than vanilla")
 	}
@@ -197,8 +197,8 @@ func TestOnlineOptimalAccurateAndFast(t *testing.T) {
 func TestOnlineOptimalBetweenApparateAndOracle(t *testing.T) {
 	m, p, s := videoSetup()
 	opts := serving.Options{Platform: serving.Clockwork, SLOms: m.SLO()}
-	oo := serving.Run(s.Requests, NewOnlineOptimal(m, p, 0.02, s.Samples(), 0.01), opts)
-	opt := serving.Run(s.Requests, NewOptimal(m, p), opts)
+	oo := serving.Run(s.Iter(), NewOnlineOptimal(m, p, 0.02, s.Samples(), 0.01), opts)
+	opt := serving.Run(s.Iter(), NewOptimal(m, p), opts)
 	// The oracle with per-input exits and zero overhead must dominate
 	// chunk-level online tuning.
 	if opt.Latencies().Median() > oo.Latencies().Median() {

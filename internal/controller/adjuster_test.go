@@ -86,7 +86,7 @@ func TestNegativeStreakResetsOnRecovery(t *testing.T) {
 	// Run an easy stream so utilities go positive; any streak built
 	// during bootstrap must be cleared.
 	stream := workload.Video(0, 2000, 30, 61)
-	for _, req := range stream.Requests {
+	for _, req := range stream.Materialize() {
 		ctl.Observe(cfg.Evaluate(req.Sample, 1))
 	}
 	for node, streak := range ctl.negStreak {
@@ -104,7 +104,7 @@ func TestAdjustKeepsBudgetThroughChurn(t *testing.T) {
 	cfg.DeployInitial(ramp.StyleDefault)
 	ctl := New(cfg, Config{})
 	stream := workload.Video(1, 10000, 30, 62)
-	for _, req := range stream.Requests {
+	for _, req := range stream.Materialize() {
 		ctl.Observe(cfg.Evaluate(req.Sample, 1))
 		if cfg.OverheadFrac() > cfg.BudgetFrac+1e-9 {
 			t.Fatalf("budget exceeded mid-run: %v", cfg.OverheadFrac())
@@ -119,7 +119,7 @@ func TestMinSeparationHoldsAfterAdaptation(t *testing.T) {
 	cfg := newCfg()
 	ctl := New(cfg, Config{})
 	stream := workload.Video(3, 8000, 30, 63)
-	for _, req := range stream.Requests {
+	for _, req := range stream.Materialize() {
 		ctl.Observe(cfg.Evaluate(req.Sample, 1))
 	}
 	// The initial even spacing may be tighter than the separation rule;

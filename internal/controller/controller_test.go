@@ -191,7 +191,7 @@ func TestControllerBootstrapsExits(t *testing.T) {
 	ctl := New(cfg, Config{})
 	stream := workload.Video(0, 600, 30, 7)
 	exits := 0
-	for _, req := range stream.Requests {
+	for _, req := range stream.Materialize() {
 		out := cfg.Evaluate(req.Sample, 1)
 		if out.ExitIndex >= 0 {
 			exits++
@@ -209,7 +209,7 @@ func TestControllerMaintainsAccuracy(t *testing.T) {
 	stream := workload.Video(1, 8000, 30, 11) // night video with regime shifts
 	correct, total := 0, 0
 	warmup := 1000
-	for i, req := range stream.Requests {
+	for i, req := range stream.Materialize() {
 		out := cfg.Evaluate(req.Sample, 1)
 		ctl.Observe(out)
 		if i >= warmup {
@@ -236,7 +236,7 @@ func TestControllerAdjustsRamps(t *testing.T) {
 	cfg := newCfg()
 	ctl := New(cfg, Config{})
 	stream := workload.Video(0, 3000, 30, 13)
-	for _, req := range stream.Requests {
+	for _, req := range stream.Materialize() {
 		ctl.Observe(cfg.Evaluate(req.Sample, 1))
 	}
 	if ctl.AdjustRounds == 0 {
@@ -256,7 +256,7 @@ func TestAblationTunesWithoutAdjusting(t *testing.T) {
 	}
 	stream := workload.Video(0, 2000, 30, 17)
 	exits := 0
-	for _, req := range stream.Requests {
+	for _, req := range stream.Materialize() {
 		out := cfg.Evaluate(req.Sample, 1)
 		if out.ExitIndex >= 0 {
 			exits++
@@ -341,7 +341,7 @@ func TestAdjustCullsRelativeLosers(t *testing.T) {
 	// ramps idle, show persistent negative utility, and should be
 	// culled (down to the 2-ramp floor) with the budget reusable.
 	stream := workload.Video(0, 6000, 30, 33)
-	for _, req := range stream.Requests {
+	for _, req := range stream.Materialize() {
 		ctl.Observe(cfg.Evaluate(req.Sample, 1))
 	}
 	if len(cfg.Active) < 2 {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/exitrule"
 	"repro/internal/exitsim"
 	"repro/internal/genserve"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/ramp"
 	"repro/internal/serving"
@@ -59,6 +60,10 @@ type Config struct {
 	// GenFlush overrides the generative engine's pending-token flush
 	// threshold (default 8).
 	GenFlush int
+	// Metrics selects the latency/TPT recorder implementation: exact
+	// (every sample kept, O(n) memory) or sketch (log-scaled histogram,
+	// O(1) memory, ~0.5% percentile error). Default exact.
+	Metrics metrics.Mode
 }
 
 func (c Config) withDefaults() Config {
@@ -115,21 +120,23 @@ func New(m *model.Model, kind exitsim.Kind, cfg Config) *System {
 			Platform: cfg.Platform,
 			SLOms:    slo,
 			MaxBatch: cfg.MaxBatch,
+			Metrics:  cfg.Metrics,
 		},
 		cfg: cfg,
 	}
 }
 
 // Serve runs the workload through the platform with Apparate managing
-// exits.
+// exits. The stream is consumed through a fresh iterator, so the same
+// stream can be served any number of times.
 func (s *System) Serve(stream *workload.Stream) *serving.Stats {
-	return serving.Run(stream.Requests, s.Handler, s.Opts)
+	return serving.Run(stream.Iter(), s.Handler, s.Opts)
 }
 
 // ServeVanilla runs the same workload with the unmodified model on the
 // same platform configuration, for comparison.
 func (s *System) ServeVanilla(stream *workload.Stream) *serving.Stats {
-	return serving.Run(stream.Requests, &serving.VanillaHandler{Model: s.Model}, s.Opts)
+	return serving.Run(stream.Iter(), &serving.VanillaHandler{Model: s.Model}, s.Opts)
 }
 
 // Controller exposes the runtime controller for inspection.
@@ -149,6 +156,7 @@ func NewGen(m *model.Model, kind exitsim.Kind, cfg Config) *GenSystem {
 	cfg = cfg.withDefaults()
 	profile := exitsim.ProfileFor(m, kind)
 	eng := genserve.NewEngine(m, profile)
+	eng.Metrics = cfg.Metrics
 	if cfg.GenSlots > 0 {
 		eng.MaxConcurrent = cfg.GenSlots
 	}

@@ -46,6 +46,11 @@ type Scenario struct {
 	// (0 = engine defaults; generative workloads only).
 	GenSlots int `json:"gen_slots,omitempty"`
 	GenFlush int `json:"gen_flush,omitempty"`
+	// Metrics selects the latency recorder: "exact" (default) keeps
+	// every sample for exact percentiles; "sketch" streams samples into
+	// a bounded-memory quantile sketch (~0.5% percentile error) so
+	// million-request scenarios run in O(1) memory.
+	Metrics string `json:"metrics,omitempty"`
 }
 
 // Normalize fills defaults and canonicalizes axes that a scenario class
@@ -81,6 +86,9 @@ func (sc Scenario) Normalize() Scenario {
 	if sc.Replicas == 1 {
 		sc.Dispatch = "round-robin"
 	}
+	if sc.Metrics == "" {
+		sc.Metrics = "exact"
+	}
 	return sc
 }
 
@@ -103,6 +111,11 @@ func (sc Scenario) Identity() string {
 	}
 	if sc.GenFlush != 0 {
 		fmt.Fprintf(&b, " flush=%d", sc.GenFlush)
+	}
+	// The exact default is omitted so pre-existing scenario identities
+	// (and the seeds derived from them) are unchanged.
+	if sc.Metrics != "" && sc.Metrics != "exact" {
+		fmt.Fprintf(&b, " metrics=%s", sc.Metrics)
 	}
 	return b.String()
 }
@@ -132,7 +145,7 @@ type RunSummary struct {
 	SLOMissRate float64 `json:"slo_miss_rate"`
 }
 
-func summaryFromDist(d *metrics.Dist) RunSummary {
+func summaryFromDist(d metrics.Recorder) RunSummary {
 	return RunSummary{
 		P25ms:  d.Percentile(25),
 		P50ms:  d.Percentile(50),
@@ -201,6 +214,9 @@ func (sc Scenario) Validate() error {
 		if _, err := serving.ParseDispatch(sc.Dispatch); err != nil {
 			return err
 		}
+	}
+	if _, err := metrics.ParseMode(sc.Metrics); err != nil {
+		return err
 	}
 	sc = sc.Normalize()
 	m, err := model.ByName(sc.Model)
@@ -274,10 +290,12 @@ func runClassScenario(sc Scenario) (*Result, error) {
 		return nil, err
 	}
 
+	mode, _ := metrics.ParseMode(sc.Metrics)
 	cfg := Config{
 		AccuracyConstraint: sc.AccLoss,
 		RampBudget:         sc.RampBudget,
 		ExitRule:           sc.ExitRule,
+		Metrics:            mode,
 	}
 	cfg.Platform, _ = serving.ParsePlatform(sc.Platform)
 	res := &Result{Scenario: sc, Requests: stream.Len()}
@@ -297,7 +315,10 @@ func runClassScenario(sc Scenario) (*Result, error) {
 
 	dispatch, _ := serving.ParseDispatch(sc.Dispatch)
 	opts := serving.ClusterOptions{
-		Options:  serving.Options{Platform: cfg.Platform, SLOms: m.SLO(), MaxBatch: cfg.MaxBatch},
+		Options: serving.Options{
+			Platform: cfg.Platform, SLOms: m.SLO(),
+			MaxBatch: cfg.MaxBatch, Metrics: cfg.Metrics,
+		},
 		Replicas: sc.Replicas,
 		Dispatch: dispatch,
 	}
@@ -326,8 +347,8 @@ func runClassScenario(sc Scenario) (*Result, error) {
 		mm, _ := model.ByName(sc.Model)
 		return &serving.VanillaHandler{Model: mm}
 	}
-	v := serving.RunCluster(stream.Requests, mkVanilla, opts)
-	a := serving.RunCluster(stream.Requests, mkApparate, opts)
+	v := serving.RunCluster(stream, mkVanilla, opts)
+	a := serving.RunCluster(stream, mkApparate, opts)
 	fillClass(res, v.Merged, a.Merged)
 	for _, h := range handlers {
 		res.TuneRounds += h.Ctl.TuneRounds
@@ -358,11 +379,13 @@ func runGenScenario(sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	mode, _ := metrics.ParseMode(sc.Metrics)
 	cfg := Config{
 		AccuracyConstraint: sc.AccLoss,
 		RampBudget:         sc.RampBudget,
 		GenSlots:           sc.GenSlots,
 		GenFlush:           sc.GenFlush,
+		Metrics:            mode,
 	}
 	g := NewGen(m, kind, cfg)
 	v := g.ServeVanilla(stream)

@@ -174,3 +174,54 @@ func TestRunScenarioDeterministic(t *testing.T) {
 		t.Fatal("RunScenario is not deterministic for identical scenarios")
 	}
 }
+
+// TestScenarioMetricsModeIsLive pins that the Metrics knob reaches the
+// recorder on every scenario class — a silent fallback to exact would
+// pass the memory guard (two exact Dists for 1M requests are only a few
+// MB) while ignoring the user's -metrics sketch. Sketch mode must be
+// observable end to end: the sketched percentiles of a dispersed
+// latency distribution differ from the exact ones (bin quantization),
+// while count-based fields stay identical.
+func TestScenarioMetricsModeIsLive(t *testing.T) {
+	for _, sc := range []Scenario{
+		{Model: "resnet50", Workload: "video-0", N: 3000, Seed: 5},                                        // single replica
+		{Model: "bert-base", Workload: "amazon", N: 3000, Seed: 5, Replicas: 2, Dispatch: "least-loaded"}, // cluster
+		{Model: "t5-large", Workload: "cnn-dailymail", N: 30, Seed: 5},                                    // generative
+	} {
+		exact := sc
+		exact.Metrics = "exact"
+		sketch := sc
+		sketch.Metrics = "sketch"
+		re, err := RunScenario(exact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := RunScenario(sketch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re.Requests != rs.Requests {
+			t.Fatalf("%s: request counts differ across modes: %d vs %d", sc.Workload, re.Requests, rs.Requests)
+		}
+		differs := false
+		for _, pair := range [][2]float64{
+			{re.Vanilla.P50ms, rs.Vanilla.P50ms},
+			{re.Vanilla.P95ms, rs.Vanilla.P95ms},
+			{re.Apparate.P50ms, rs.Apparate.P50ms},
+			{re.Apparate.P95ms, rs.Apparate.P95ms},
+		} {
+			if pair[0] != pair[1] {
+				differs = true
+			}
+			// And the sketch must still be within its 1% error budget.
+			if pair[0] != 0 {
+				if rel := (pair[1] - pair[0]) / pair[0]; rel > 0.01 || rel < -0.01 {
+					t.Fatalf("%s: sketch percentile %v off exact %v by more than 1%%", sc.Workload, pair[1], pair[0])
+				}
+			}
+		}
+		if !differs {
+			t.Fatalf("%s: sketch summaries bit-identical to exact — Metrics knob is not reaching the recorder", sc.Workload)
+		}
+	}
+}

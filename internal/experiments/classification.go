@@ -47,7 +47,7 @@ func fig12() []Table {
 			stream := cvStreamFor(m, vid, uint64(12+vid))
 			v, a := servePair(m, exitsim.KindVideo, stream, 0.02, 0.01)
 			opts := serving.Options{Platform: serving.Clockwork, SLOms: m.SLO()}
-			o := serving.Run(stream.Requests, baselines.NewOptimal(m, prof), opts)
+			o := serving.Run(stream.Iter(), baselines.NewOptimal(m, prof), opts)
 			vMed := v.Latencies().Median()
 			appWins = append(appWins, metrics.WinPercent(vMed, a.Latencies().Median()))
 			optWins = append(optWins, metrics.WinPercent(vMed, o.Latencies().Median()))
@@ -123,9 +123,9 @@ func fig15() []Table {
 		stream := nlpStream("amazon", m, 15)
 		opts := serving.Options{Platform: serving.Clockwork, SLOms: m.SLO()}
 		v, a := servePair(m, exitsim.KindAmazon, stream, 0.02, 0.01)
-		oo := serving.Run(stream.Requests,
+		oo := serving.Run(stream.Iter(),
 			baselines.NewOnlineOptimal(m, prof, 0.02, stream.Samples(), 0.01), opts)
-		off := serving.Run(stream.Requests, baselines.NewOptimal(m, prof), opts)
+		off := serving.Run(stream.Iter(), baselines.NewOptimal(m, prof), opts)
 		vMed := v.Latencies().Median()
 		t.Rows = append(t.Rows, []string{
 			name,
@@ -163,8 +163,8 @@ func fig16() []Table {
 		prof := exitsim.ProfileFor(c.m, kind)
 		opts := serving.Options{Platform: serving.Clockwork, SLOms: c.m.SLO()}
 		_, a := servePair(c.m, kind, stream, 0.02, 0.01)
-		boot := stream.Samples()[:stream.Len()/10]
-		two := serving.Run(stream.Requests, baselines.NewTwoLayer(c.m, prof, boot, 0.01), opts)
+		boot := stream.SamplePrefix(stream.Len() / 10)
+		two := serving.Run(stream.Iter(), baselines.NewTwoLayer(c.m, prof, boot, 0.01), opts)
 		al, tl := a.Latencies(), two.Latencies()
 		t.Rows = append(t.Rows, []string{
 			c.m.Name, c.wl,
@@ -209,10 +209,10 @@ func fig17() []Table {
 				Platform: serving.TFServe, SLOms: slo,
 				MaxBatch: 16, BatchTimeoutMS: slo / 2, QueueCap: 256,
 			}
-			v := serving.Run(stream.Requests, &serving.VanillaHandler{Model: c.m}, opts)
+			v := serving.Run(stream.Iter(), &serving.VanillaHandler{Model: c.m}, opts)
 			fresh, _ := model.ByName(c.m.Name)
 			h := serving.NewApparate(fresh, exitsim.ProfileFor(c.m, kind), 0.02, controller.Config{})
-			a := serving.Run(stream.Requests, h, opts)
+			a := serving.Run(stream.Iter(), h, opts)
 			t.Rows = append(t.Rows, []string{
 				c.m.Name, fmt.Sprintf("%gx", mult), f1(slo),
 				pct(metrics.WinPercent(v.Latencies().Median(), a.Latencies().Median())),
@@ -269,10 +269,10 @@ func table2() []Table {
 	collect := func(m *model.Model, kind exitsim.Kind, stream *workload.Stream,
 		build func(boot, test []exitsim.Sample) serving.Handler) run {
 		opts := serving.Options{Platform: serving.Clockwork, SLOms: m.SLO()}
-		v := serving.Run(stream.Requests, &serving.VanillaHandler{Model: m}, opts)
+		v := serving.Run(stream.Iter(), &serving.VanillaHandler{Model: m}, opts)
 		samples := stream.Samples()
 		h := build(samples[:len(samples)/10], samples)
-		s := serving.Run(stream.Requests, h, opts)
+		s := serving.Run(stream.Iter(), h, opts)
 		vl, sl := v.Latencies(), s.Latencies()
 		return run{
 			acc:    s.Accuracy * 100,
@@ -385,7 +385,7 @@ func table4() []Table {
 			}
 			fresh, _ := model.ByName(c.m.Name)
 			h := serving.NewApparate(fresh, exitsim.ProfileFor(c.m, kind), 0.02, controller.Config{})
-			stats := serving.Run(stream.Requests, h, serving.Options{
+			stats := serving.Run(stream.Iter(), h, serving.Options{
 				Platform: platform, SLOms: c.m.SLO(), MaxBatch: 8, BatchTimeoutMS: 5,
 			})
 			lat := stats.Latencies()
@@ -433,12 +433,12 @@ func rampStyle() []Table {
 	m := model.BERTBase()
 	stream := nlpStream("amazon", m, 26)
 	opts := serving.Options{Platform: serving.Clockwork, SLOms: m.SLO()}
-	v := serving.Run(stream.Requests, &serving.VanillaHandler{Model: m}, opts)
+	v := serving.Run(stream.Iter(), &serving.VanillaHandler{Model: m}, opts)
 	for _, style := range []ramp.Style{ramp.StyleDefault, ramp.StyleDeeBERTPooler} {
 		fresh, _ := model.ByName(m.Name)
 		h := serving.NewApparate(fresh, exitsim.ProfileFor(m, exitsim.KindAmazon), 0.02, controller.Config{})
 		h.Cfg.DeployInitial(style)
-		stats := serving.Run(stream.Requests, h, opts)
+		stats := serving.Run(stream.Iter(), h, opts)
 		t.Rows = append(t.Rows, []string{
 			style.Name, fmt.Sprint(len(h.Cfg.Active)),
 			pct(metrics.WinPercent(v.Latencies().Median(), stats.Latencies().Median())),
@@ -471,7 +471,7 @@ func ablation() []Table {
 		fresh, _ := model.ByName(c.m.Name)
 		h := serving.NewApparate(fresh, exitsim.ProfileFor(c.m, kind), 0.02,
 			controller.Config{DisableRampAdjust: true})
-		no := serving.Run(stream.Requests, h, serving.Options{Platform: serving.Clockwork, SLOms: c.m.SLO()})
+		no := serving.Run(stream.Iter(), h, serving.Options{Platform: serving.Clockwork, SLOms: c.m.SLO()})
 		vMed := v.Latencies().Median()
 		t.Rows = append(t.Rows, []string{
 			c.m.Name, c.wl,

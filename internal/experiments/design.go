@@ -41,9 +41,9 @@ func fig8() []Table {
 	for _, c := range cases {
 		var stream = func() []exitsim.Sample {
 			if c.domain == "cv" {
-				return cvStream(0, 8).Samples()[:6000]
+				return cvStream(0, 8).SamplePrefix(6000)
 			}
-			return nlpStream("amazon", c.m, 8).Samples()[:6000]
+			return nlpStream("amazon", c.m, 8).SamplePrefix(6000)
 		}()
 		prof := exitsim.ProfileFor(c.m, c.kind)
 		for _, style := range c.styles {
@@ -79,7 +79,7 @@ func fig9() []Table {
 	cfg := ramp.NewConfig(m, prof, 0.02)
 	_ = cfg.Activate(cfg.Sites[2], ramp.StyleDefault)
 	_ = cfg.Activate(cfg.Sites[8], ramp.StyleDefault)
-	samples := cvStream(0, 9).Samples()[:2000]
+	samples := cvStream(0, 9).SamplePrefix(2000)
 	recs := recordsFor(cfg, samples)
 
 	grid := Table{
@@ -125,7 +125,7 @@ func fig10() []Table {
 	}
 	m := model.ResNet50()
 	prof := exitsim.ProfileFor(m, exitsim.KindVideo)
-	samples := cvStream(0, 10).Samples()[:512]
+	samples := cvStream(0, 10).SamplePrefix(512)
 	for _, n := range []int{2, 3, 4} {
 		cfg := ramp.NewConfig(m, prof, 0.05)
 		for i := 0; i < n; i++ {

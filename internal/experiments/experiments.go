@@ -160,12 +160,12 @@ func distFrom(vs []float64) *metrics.Dist {
 func servePair(m *model.Model, kind exitsim.Kind, stream *workload.Stream,
 	budget, acc float64) (vanilla, apparate *serving.Stats) {
 	opts := serving.Options{Platform: serving.Clockwork, SLOms: m.SLO()}
-	vanilla = serving.Run(stream.Requests, &serving.VanillaHandler{Model: m}, opts)
+	vanilla = serving.Run(stream.Iter(), &serving.VanillaHandler{Model: m}, opts)
 	fresh, err := model.ByName(m.Name)
 	if err != nil {
 		panic(err)
 	}
 	h := serving.NewApparate(fresh, exitsim.ProfileFor(m, kind), budget, controller.Config{AccConstraint: acc})
-	apparate = serving.Run(stream.Requests, h, opts)
+	apparate = serving.Run(stream.Iter(), h, opts)
 	return vanilla, apparate
 }

@@ -32,7 +32,7 @@ func exitRules() []Table {
 	m := model.ResNet50()
 	stream := cvStream(0, 28)
 	opts := serving.Options{Platform: serving.Clockwork, SLOms: m.SLO()}
-	v := serving.Run(stream.Requests, &serving.VanillaHandler{Model: m}, opts)
+	v := serving.Run(stream.Iter(), &serving.VanillaHandler{Model: m}, opts)
 	for _, rule := range []exitrule.Rule{
 		exitrule.Entropy{},
 		exitrule.Windowed{K: 2},
@@ -41,18 +41,12 @@ func exitRules() []Table {
 		fresh, _ := model.ByName(m.Name)
 		h := serving.NewApparate(fresh, exitsim.ProfileFor(m, exitsim.KindVideo), 0.02, controller.Config{})
 		h.Cfg.Rule = rule
-		stats := serving.Run(stream.Requests, h, opts)
-		exits := 0
-		for _, r := range stats.Results {
-			if r.ExitIndex >= 0 {
-				exits++
-			}
-		}
+		stats := serving.Run(stream.Iter(), h, opts)
 		t.Rows = append(t.Rows, []string{
 			rule.Name(),
 			pct(metrics.WinPercent(v.Latencies().Median(), stats.Latencies().Median())),
 			pct(stats.Accuracy * 100),
-			pct(float64(exits) / float64(len(stats.Results)) * 100),
+			pct(float64(stats.Exits) / float64(stats.Total) * 100),
 		})
 	}
 	return []Table{t}
@@ -77,7 +71,7 @@ func cluster() []Table {
 			if replicas == 1 && d == serving.LeastLoaded {
 				continue // identical to round-robin with one replica
 			}
-			cs := serving.RunCluster(streamHot.Requests, func(int) serving.Handler {
+			cs := serving.RunCluster(streamHot, func(int) serving.Handler {
 				fresh, _ := model.ByName(m.Name)
 				return serving.NewApparate(fresh, prof, 0.02, controller.Config{})
 			}, serving.ClusterOptions{Options: opts, Replicas: replicas, Dispatch: d})

@@ -64,7 +64,7 @@ func fig2() []Table {
 		qps := trace.TargetQPS(c.m)
 		for _, mb := range []int{1, 4, 8, 16} {
 			h := &serving.VanillaHandler{Model: c.m}
-			stats := serving.Run(c.stream.Requests, h, serving.Options{
+			stats := serving.Run(c.stream.Iter(), h, serving.Options{
 				Platform: serving.TFServe, SLOms: c.m.SLO(),
 				MaxBatch: mb, BatchTimeoutMS: 1 + float64(mb-1)*1000/qps,
 			})
@@ -96,8 +96,8 @@ func fig4() []Table {
 	}
 	for _, c := range cases {
 		opts := serving.Options{Platform: serving.Clockwork, SLOms: c.m.SLO()}
-		v := serving.Run(c.stream.Requests, &serving.VanillaHandler{Model: c.m}, opts)
-		o := serving.Run(c.stream.Requests, baselines.NewOptimal(c.m, exitsim.ProfileFor(c.m, c.kind)), opts)
+		v := serving.Run(c.stream.Iter(), &serving.VanillaHandler{Model: c.m}, opts)
+		o := serving.Run(c.stream.Iter(), baselines.NewOptimal(c.m, exitsim.ProfileFor(c.m, c.kind)), opts)
 		for _, r := range []struct {
 			name  string
 			stats *serving.Stats
@@ -195,13 +195,13 @@ func table1() []Table {
 	run := func(m *model.Model, kind exitsim.Kind, stream *workload.Stream, strategy string) result {
 		prof := exitsim.ProfileFor(m, kind)
 		opts := serving.Options{Platform: serving.Clockwork, SLOms: m.SLO()}
-		v := serving.Run(stream.Requests, &serving.VanillaHandler{Model: m}, opts)
+		v := serving.Run(stream.Iter(), &serving.VanillaHandler{Model: m}, opts)
 		var stats *serving.Stats
 		switch strategy {
 		case "initial-only":
-			boot := stream.Samples()[:stream.Len()/10]
+			boot := stream.SamplePrefix(stream.Len() / 10)
 			h := baselines.StaticEE(m, prof, ramp.StyleDefault, 0.02, baselines.PerRamp, boot, nil, 0.01)
-			stats = serving.Run(stream.Requests, h, opts)
+			stats = serving.Run(stream.Iter(), h, opts)
 		case "uniform-sample":
 			samples := stream.Samples()
 			var sampled []exitsim.Sample
@@ -209,10 +209,10 @@ func table1() []Table {
 				sampled = append(sampled, samples[i])
 			}
 			h := baselines.StaticEE(m, prof, ramp.StyleDefault, 0.02, baselines.PerRamp, sampled, nil, 0.01)
-			stats = serving.Run(stream.Requests, h, opts)
+			stats = serving.Run(stream.Iter(), h, opts)
 		case "continual":
 			h := serving.NewApparate(m, prof, 0.02, controller.Config{DisableRampAdjust: true})
-			stats = serving.Run(stream.Requests, h, opts)
+			stats = serving.Run(stream.Iter(), h, opts)
 		}
 		return result{
 			acc: stats.Accuracy * 100,

@@ -5,6 +5,11 @@
 // dependencies — an exited token's remaining layers run batched alongside
 // the next non-exiting token (or a periodic flush), so time-per-token
 // (TPT) improves for exiting tokens at a mild penalty for the flusher.
+//
+// Like the classification simulator, the engine streams: sequences are
+// pulled from the workload iterator one at a time and every token's TPT
+// is folded into a metrics.Recorder, so a run's memory is bounded by one
+// sequence — independent of stream length.
 package genserve
 
 import (
@@ -41,9 +46,13 @@ type SeqResult struct {
 	MatchRate float64
 }
 
-// Stats aggregates a generative run.
+// Stats aggregates a generative run: summaries only, never the
+// per-sequence results (hook Engine.OnSeq to tap those).
 type Stats struct {
-	Seqs []SeqResult
+	// TPTRec records every token's time-per-token.
+	TPTRec metrics.Recorder
+	// Seqs counts completed sequences.
+	Seqs int
 	// MeanMatchRate averages sequence match rates (1.0 = the original
 	// model's output exactly).
 	MeanMatchRate float64
@@ -81,17 +90,9 @@ func TokenBudget(seqBudget float64) float64 {
 	return b
 }
 
-// TPT returns the time-per-token distribution across every token of
-// every sequence.
-func (s *Stats) TPT() *metrics.Dist {
-	d := metrics.NewDist(4096)
-	for _, seq := range s.Seqs {
-		for _, tk := range seq.Tokens {
-			d.Add(tk.TPTms)
-		}
-	}
-	return d
-}
+// TPT returns the time-per-token recorder across every token of every
+// sequence.
+func (s *Stats) TPT() metrics.Recorder { return s.TPTRec }
 
 // Policy decides, per token, whether and where the token exits.
 type Policy interface {
@@ -115,6 +116,11 @@ type Engine struct {
 	// FlushCount flushes accumulated exited tokens after this many even
 	// without a non-exiting token (bounds KV-state lag, §4.4).
 	FlushCount int
+	// Metrics selects the TPT recorder implementation (exact | sketch).
+	Metrics metrics.Mode
+	// OnSeq, when non-nil, receives every completed sequence in arrival
+	// order; the engine itself retains none of them.
+	OnSeq func(SeqResult)
 }
 
 // NewEngine returns an engine with the paper's defaults.
@@ -200,10 +206,20 @@ func (h *slotHeap) Pop() interface{} {
 func (e *Engine) Run(stream *workload.GenStream, pol Policy) *Stats {
 	slots := make(slotHeap, e.MaxConcurrent)
 	heap.Init(&slots)
-	stats := &Stats{Seqs: make([]SeqResult, 0, stream.Len())}
+	stats := &Stats{TPTRec: metrics.NewRecorder(e.Metrics, 4096)}
 	sumRate := 0.0
 	sumScore := 0.0
-	for _, req := range stream.Requests {
+	firstArrival := 0.0
+	lastDone := 0.0
+	it := stream.Iter()
+	for {
+		req, ok := it.Next()
+		if !ok {
+			break
+		}
+		if stats.Seqs == 0 {
+			firstArrival = req.ArrivalMS
+		}
 		free := heap.Pop(&slots).(float64)
 		start := req.ArrivalMS
 		if free > start {
@@ -217,6 +233,7 @@ func (e *Engine) Run(stream *workload.GenStream, pol Policy) *Stats {
 			if tk.Match {
 				match++
 			}
+			stats.TPTRec.Add(tk.TPTms)
 		}
 		rate := 1.0
 		if len(tokens) > 0 {
@@ -224,22 +241,22 @@ func (e *Engine) Run(stream *workload.GenStream, pol Policy) *Stats {
 		}
 		sumRate += rate
 		sumScore += ScoreFromMatchRate(rate)
-		stats.Seqs = append(stats.Seqs, SeqResult{
-			Request: req, StartMS: start, DoneMS: done,
-			Tokens: tokens, MatchRate: rate,
-		})
-	}
-	if len(stats.Seqs) > 0 {
-		stats.MeanMatchRate = sumRate / float64(len(stats.Seqs))
-		stats.MeanScore = sumScore / float64(len(stats.Seqs))
-		lastDone := 0.0
-		for _, seq := range stats.Seqs {
-			stats.TotalTokens += len(seq.Tokens)
-			if seq.DoneMS > lastDone {
-				lastDone = seq.DoneMS
-			}
+		stats.Seqs++
+		stats.TotalTokens += len(tokens)
+		if done > lastDone {
+			lastDone = done
 		}
-		if span := lastDone - stream.Requests[0].ArrivalMS; span > 0 {
+		if e.OnSeq != nil {
+			e.OnSeq(SeqResult{
+				Request: req, StartMS: start, DoneMS: done,
+				Tokens: tokens, MatchRate: rate,
+			})
+		}
+	}
+	if stats.Seqs > 0 {
+		stats.MeanMatchRate = sumRate / float64(stats.Seqs)
+		stats.MeanScore = sumScore / float64(stats.Seqs)
+		if span := lastDone - firstArrival; span > 0 {
 			stats.TokensPerSec = float64(stats.TotalTokens) / span * 1000
 		}
 	}

@@ -17,9 +17,12 @@ func t5Setup() (*Engine, *workload.GenStream) {
 
 func TestVanillaTPTConstant(t *testing.T) {
 	e, s := t5Setup()
+	var seqs []SeqResult
+	e.OnSeq = func(sr SeqResult) { seqs = append(seqs, sr) }
 	stats := e.Run(s, VanillaGen{})
+	e.OnSeq = nil
 	want := e.stepMS()
-	for _, seq := range stats.Seqs {
+	for _, seq := range seqs {
 		for _, tk := range seq.Tokens {
 			if tk.TPTms != want {
 				t.Fatalf("vanilla TPT %v, want %v", tk.TPTms, want)
@@ -29,6 +32,9 @@ func TestVanillaTPTConstant(t *testing.T) {
 			}
 		}
 	}
+	if len(seqs) != stats.Seqs {
+		t.Fatalf("observer saw %d sequences, stats counted %d", len(seqs), stats.Seqs)
+	}
 	if stats.MeanMatchRate != 1.0 {
 		t.Fatalf("vanilla match rate %v", stats.MeanMatchRate)
 	}
@@ -36,10 +42,14 @@ func TestVanillaTPTConstant(t *testing.T) {
 
 func TestTokenCountsMatchRequests(t *testing.T) {
 	e, s := t5Setup()
-	stats := e.Run(s, VanillaGen{})
-	for i, seq := range stats.Seqs {
-		if len(seq.Tokens) != s.Requests[i].GenLen {
-			t.Fatalf("seq %d generated %d tokens, want %d", i, len(seq.Tokens), s.Requests[i].GenLen)
+	var seqs []SeqResult
+	e.OnSeq = func(sr SeqResult) { seqs = append(seqs, sr) }
+	e.Run(s, VanillaGen{})
+	e.OnSeq = nil
+	reqs := s.Materialize()
+	for i, seq := range seqs {
+		if len(seq.Tokens) != reqs[i].GenLen {
+			t.Fatalf("seq %d generated %d tokens, want %d", i, len(seq.Tokens), reqs[i].GenLen)
 		}
 	}
 }
@@ -178,9 +188,12 @@ func TestSlotsBoundConcurrency(t *testing.T) {
 	e := NewEngine(m, exitsim.ProfileFor(m, exitsim.KindCNNDailyMail))
 	e.MaxConcurrent = 1
 	s := workload.CNNDailyMail(20, 50, 37) // arrival rate far above service
-	stats := e.Run(s, VanillaGen{})
-	for i := 1; i < len(stats.Seqs); i++ {
-		if stats.Seqs[i].StartMS < stats.Seqs[i-1].DoneMS-1e-9 {
+	var seqs []SeqResult
+	e.OnSeq = func(sr SeqResult) { seqs = append(seqs, sr) }
+	e.Run(s, VanillaGen{})
+	e.OnSeq = nil
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i].StartMS < seqs[i-1].DoneMS-1e-9 {
 			t.Fatalf("seq %d started before seq %d finished", i, i-1)
 		}
 	}

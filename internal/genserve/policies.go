@@ -71,9 +71,9 @@ func NewFREE(m *model.Model, p exitsim.Profile, stream *workload.GenStream, accB
 	if nBoot < 1 {
 		nBoot = 1
 	}
-	// Collect bootstrap token samples.
+	// Collect bootstrap token samples (materializing only the prefix).
 	var samples []exitsim.Sample
-	for _, req := range stream.Requests[:nBoot] {
+	for _, req := range stream.Prefix(nBoot) {
 		ts := workload.NewTokenSampler(req)
 		for i := 0; i < req.GenLen; i++ {
 			samples = append(samples, ts.Next())

@@ -55,72 +55,146 @@ type ClusterOptions struct {
 	Options
 	Replicas int
 	Dispatch Dispatch
+	// ReplicaObserver, when non-nil, receives every per-request Result
+	// tagged with the replica that served it (Options.Observer fires
+	// too, untagged).
+	ReplicaObserver func(replica int, r Result)
 }
 
 // ClusterStats aggregates a cluster run.
 type ClusterStats struct {
 	PerReplica []*Stats
-	// Merged holds every request's result across replicas.
+	// Merged aggregates every request's outcome across replicas:
+	// summed counts, merged latency recorders, cluster-wide rates.
 	Merged *Stats
+}
+
+// dispatchFilter replays the deterministic dispatch decision over a
+// stream pass and yields only the requests assigned to one replica. The
+// per-request assignment depends solely on arrival order (round-robin)
+// or on the deterministic backlog estimate (least-loaded), so every
+// replica's pass over a fresh iterator reproduces the same split — the
+// streaming equivalent of materializing per-replica sub-slices, at O(1)
+// memory per pass.
+type dispatchFilter struct {
+	src     *workload.Iter
+	replica int
+	opts    ClusterOptions
+	estCost []float64 // per-replica batch-1 latency estimate (least-loaded)
+	horizon []float64
+	i       int
+}
+
+func (f *dispatchFilter) Next() (workload.Request, bool) {
+	for {
+		r, ok := f.src.Next()
+		if !ok {
+			return workload.Request{}, false
+		}
+		var target int
+		switch f.opts.Dispatch {
+		case RoundRobin:
+			target = f.i % f.opts.Replicas
+		case LeastLoaded:
+			// Track each replica's estimated work horizon: the time its
+			// already-assigned requests will keep it busy, assuming
+			// batch-1 service (a conservative, handler-agnostic
+			// estimate).
+			best := 0
+			for j := 1; j < f.opts.Replicas; j++ {
+				if backlog(f.horizon[j], r.ArrivalMS) < backlog(f.horizon[best], r.ArrivalMS) {
+					best = j
+				}
+			}
+			start := r.ArrivalMS
+			if f.horizon[best] > start {
+				start = f.horizon[best]
+			}
+			f.horizon[best] = start + f.estCost[best]
+			target = best
+		}
+		f.i++
+		if target == f.replica {
+			return r, true
+		}
+	}
 }
 
 // RunCluster simulates the request stream over a pool of replicas.
 // makeHandler builds the handler for replica i (a fresh Apparate
-// controller per replica, or shared-nothing vanilla handlers).
-func RunCluster(reqs []workload.Request, makeHandler func(i int) Handler, opts ClusterOptions) *ClusterStats {
+// controller per replica, or shared-nothing vanilla handlers). Each
+// replica streams its slice of the trace through its own pass of the
+// dispatch decision, so the cluster simulator, like the single-replica
+// one, holds no per-request state.
+func RunCluster(stream *workload.Stream, makeHandler func(i int) Handler, opts ClusterOptions) *ClusterStats {
 	if opts.Replicas <= 0 {
 		panic("serving: RunCluster needs at least one replica")
 	}
-	// Dispatch pass: split the arrival stream.
-	sub := make([][]workload.Request, opts.Replicas)
-	switch opts.Dispatch {
-	case RoundRobin:
-		for i, r := range reqs {
-			sub[i%opts.Replicas] = append(sub[i%opts.Replicas], r)
-		}
-	case LeastLoaded:
-		// Track each replica's estimated work horizon: the time its
-		// already-assigned requests will keep it busy, assuming
-		// batch-1 service (a conservative, handler-agnostic estimate).
-		handlers := make([]Handler, opts.Replicas)
-		horizon := make([]float64, opts.Replicas)
-		for i := range handlers {
-			handlers[i] = makeHandler(i)
-		}
-		// The dispatch-time handlers are only used for latency
-		// estimates; fresh handlers serve the actual sub-streams below.
-		for _, r := range reqs {
-			best := 0
-			for i := 1; i < opts.Replicas; i++ {
-				if backlog(horizon[i], r.ArrivalMS) < backlog(horizon[best], r.ArrivalMS) {
-					best = i
-				}
-			}
-			start := r.ArrivalMS
-			if horizon[best] > start {
-				start = horizon[best]
-			}
-			horizon[best] = start + handlers[best].BatchLatency(1)
-			sub[best] = append(sub[best], r)
+	// Least-loaded needs per-replica service-time estimates for its
+	// backlog model. The estimate handlers are used only at dispatch
+	// time; fresh handlers serve the actual sub-streams below.
+	var estCost []float64
+	if opts.Dispatch == LeastLoaded {
+		estCost = make([]float64, opts.Replicas)
+		for i := range estCost {
+			estCost[i] = makeHandler(i).BatchLatency(1)
 		}
 	}
 
 	cs := &ClusterStats{PerReplica: make([]*Stats, opts.Replicas)}
-	merged := &Stats{}
-	var batches metrics.Counter
+	merged := &Stats{Lat: metrics.NewRecorder(opts.Metrics, 4096)}
 	for i := 0; i < opts.Replicas; i++ {
-		st := Run(sub[i], makeHandler(i), opts.Options)
+		ropts := opts.Options
+		if opts.ReplicaObserver != nil {
+			replica, inner := i, opts.Observer
+			ropts.Observer = func(r Result) {
+				if inner != nil {
+					inner(r)
+				}
+				opts.ReplicaObserver(replica, r)
+			}
+		}
+		src := &dispatchFilter{
+			src:     stream.Iter(),
+			replica: i,
+			opts:    opts,
+			estCost: estCost,
+			horizon: make([]float64, opts.Replicas),
+		}
+		st := Run(src, makeHandler(i), ropts)
 		cs.PerReplica[i] = st
-		merged.Results = append(merged.Results, st.Results...)
+		mergeStats(merged, st)
+	}
+	merged.finalize()
+	// AvgBatch averages the per-replica batch means, matching the
+	// single-replica definition per slice.
+	var batches metrics.Counter
+	for _, st := range cs.PerReplica {
 		batches.Add(st.AvgBatch)
 	}
-	// Re-summarize the merged results.
-	if len(reqs) > 0 {
-		cs.Merged = summarize(merged.Results, batches, reqs)
-	} else {
-		cs.Merged = merged
-	}
+	merged.AvgBatch = batches.Mean()
+	cs.Merged = merged
 	return cs
+}
+
+// mergeStats folds one replica's aggregates into the cluster totals.
+func mergeStats(dst, src *Stats) {
+	dst.Total += src.Total
+	dst.Delivered += src.Delivered
+	dst.Drops += src.Drops
+	dst.SLOMisses += src.SLOMisses
+	dst.Correct += src.Correct
+	dst.Exits += src.Exits
+	if src.Lat.Len() > 0 {
+		dst.Lat.Merge(src.Lat)
+	}
+	if src.sawArrival && (!dst.sawArrival || src.FirstArrivalMS < dst.FirstArrivalMS) {
+		dst.FirstArrivalMS = src.FirstArrivalMS
+		dst.sawArrival = true
+	}
+	if src.LastDoneMS > dst.LastDoneMS {
+		dst.LastDoneMS = src.LastDoneMS
+	}
 }
 
 func backlog(horizon, now float64) float64 {

@@ -18,8 +18,8 @@ func TestClusterSustainsHigherRate(t *testing.T) {
 	s := workload.Amazon(6000, qps, 51)
 	opts := Options{Platform: Clockwork, SLOms: m.SLO()}
 
-	single := Run(s.Requests, &VanillaHandler{Model: m}, opts)
-	cluster := RunCluster(s.Requests, func(int) Handler { return &VanillaHandler{Model: m} },
+	single := Run(s.Iter(), &VanillaHandler{Model: m}, opts)
+	cluster := RunCluster(s, func(int) Handler { return &VanillaHandler{Model: m} },
 		ClusterOptions{Options: opts, Replicas: 3, Dispatch: LeastLoaded})
 
 	if cluster.Merged.DropRate >= single.DropRate {
@@ -36,17 +36,21 @@ func TestClusterServesEveryRequestOnce(t *testing.T) {
 	s := workload.Video(0, 3000, 90, 52)
 	opts := Options{Platform: Clockwork, SLOms: m.SLO()}
 	for _, d := range []Dispatch{RoundRobin, LeastLoaded} {
-		cluster := RunCluster(s.Requests, func(int) Handler { return &VanillaHandler{Model: m} },
-			ClusterOptions{Options: opts, Replicas: 4, Dispatch: d})
 		seen := map[int]bool{}
-		for _, r := range cluster.Merged.Results {
+		dup := -1
+		copts := ClusterOptions{Options: opts, Replicas: 4, Dispatch: d}
+		copts.Observer = func(r Result) {
 			if seen[r.ID] {
-				t.Fatalf("%v: request %d served twice", d, r.ID)
+				dup = r.ID
 			}
 			seen[r.ID] = true
 		}
-		if len(seen) != 3000 {
-			t.Fatalf("%v: %d distinct results, want 3000", d, len(seen))
+		cluster := RunCluster(s, func(int) Handler { return &VanillaHandler{Model: m} }, copts)
+		if dup >= 0 {
+			t.Fatalf("%v: request %d served twice", d, dup)
+		}
+		if len(seen) != 3000 || cluster.Merged.Total != 3000 {
+			t.Fatalf("%v: %d distinct results (merged total %d), want 3000", d, len(seen), cluster.Merged.Total)
 		}
 	}
 }
@@ -57,7 +61,7 @@ func TestClusterPerReplicaControllers(t *testing.T) {
 	s := workload.Video(0, 6000, 60, 53)
 	opts := Options{Platform: Clockwork, SLOms: m.SLO()}
 	var handlers []*ApparateHandler
-	cluster := RunCluster(s.Requests, func(i int) Handler {
+	cluster := RunCluster(s, func(i int) Handler {
 		h := NewApparate(model.ResNet50(), prof, 0.02, controller.Config{})
 		handlers = append(handlers, h)
 		return h
@@ -84,7 +88,7 @@ func TestLeastLoadedBeatsRoundRobinOnBursts(t *testing.T) {
 	s := workload.Amazon(6000, qps, 54)
 	opts := Options{Platform: Clockwork, SLOms: m.SLO()}
 	run := func(d Dispatch) float64 {
-		c := RunCluster(s.Requests, func(int) Handler { return &VanillaHandler{Model: m} },
+		c := RunCluster(s, func(int) Handler { return &VanillaHandler{Model: m} },
 			ClusterOptions{Options: opts, Replicas: 3, Dispatch: d})
 		return c.Merged.DropRate
 	}
@@ -138,20 +142,24 @@ func TestRoundRobinOrdering(t *testing.T) {
 	// A generous SLO so nothing drops and every request is observable.
 	opts := Options{Platform: Clockwork, SLOms: 10 * m.SLO()}
 	const replicas = 3
-	cluster := RunCluster(s.Requests, func(int) Handler { return &VanillaHandler{Model: m} },
-		ClusterOptions{Options: opts, Replicas: replicas, Dispatch: RoundRobin})
-	for i, st := range cluster.PerReplica {
+	perReplica := make([][]int, replicas)
+	cluster := RunCluster(s, func(int) Handler { return &VanillaHandler{Model: m} },
+		ClusterOptions{Options: opts, Replicas: replicas, Dispatch: RoundRobin,
+			ReplicaObserver: func(replica int, r Result) {
+				perReplica[replica] = append(perReplica[replica], r.ID)
+			}})
+	for i, ids := range perReplica {
 		prev := -1
-		for _, r := range st.Results {
-			if r.ID%replicas != i {
-				t.Fatalf("replica %d served request %d (want ids ≡ %d mod %d)", i, r.ID, i, replicas)
+		for _, id := range ids {
+			if id%replicas != i {
+				t.Fatalf("replica %d served request %d (want ids ≡ %d mod %d)", i, id, i, replicas)
 			}
-			if r.ID <= prev {
-				t.Fatalf("replica %d results out of arrival order: %d after %d", i, r.ID, prev)
+			if id <= prev {
+				t.Fatalf("replica %d results out of arrival order: %d after %d", i, id, prev)
 			}
-			prev = r.ID
+			prev = id
 		}
-		if len(st.Results) == 0 {
+		if len(ids) == 0 || cluster.PerReplica[i].Total == 0 {
 			t.Fatalf("replica %d received no requests", i)
 		}
 	}
@@ -169,18 +177,23 @@ func TestLeastLoadedTieBreaking(t *testing.T) {
 		reqs[i] = workload.Request{ID: i, ArrivalMS: 0}
 	}
 	opts := Options{Platform: Clockwork, SLOms: 100 * m.SLO()}
-	cluster := RunCluster(reqs, func(int) Handler { return &VanillaHandler{Model: m} },
-		ClusterOptions{Options: opts, Replicas: replicas, Dispatch: LeastLoaded})
+	perReplica := make([][]int, replicas)
+	cluster := RunCluster(workload.FromSlice("burst", 0, reqs),
+		func(int) Handler { return &VanillaHandler{Model: m} },
+		ClusterOptions{Options: opts, Replicas: replicas, Dispatch: LeastLoaded,
+			ReplicaObserver: func(replica int, r Result) {
+				perReplica[replica] = append(perReplica[replica], r.ID)
+			}})
 	// Equal batch-1 latency per request means backlogs stay balanced and
 	// every round of assignments re-ties; the strict-inequality rule must
 	// then cycle 0,1,2 exactly like round-robin.
-	for i, st := range cluster.PerReplica {
-		if len(st.Results) != n/replicas {
-			t.Fatalf("replica %d served %d requests, want %d", i, len(st.Results), n/replicas)
+	for i, ids := range perReplica {
+		if len(ids) != n/replicas || cluster.PerReplica[i].Total != n/replicas {
+			t.Fatalf("replica %d served %d requests, want %d", i, len(ids), n/replicas)
 		}
-		for _, r := range st.Results {
-			if r.ID%replicas != i {
-				t.Fatalf("tie-break sent request %d to replica %d (want %d)", r.ID, i, r.ID%replicas)
+		for _, id := range ids {
+			if id%replicas != i {
+				t.Fatalf("tie-break sent request %d to replica %d (want %d)", id, i, id%replicas)
 			}
 		}
 	}

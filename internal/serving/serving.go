@@ -14,6 +14,12 @@
 // The handler abstraction lets vanilla models, Apparate, and every
 // baseline share the same queueing machinery, so latency differences come
 // only from exiting behavior.
+//
+// The simulator is streaming end to end: requests are pulled from a
+// RequestSource one at a time (plus one request of lookahead for the
+// scheduling policies) and outcomes are folded into aggregate Stats and
+// a metrics.Recorder as they happen, so memory is bounded by the queue
+// depth — independent of trace length.
 package serving
 
 import (
@@ -59,6 +65,12 @@ func ParsePlatform(name string) (Platform, error) {
 	return 0, fmt.Errorf("serving: unknown platform %q (want clockwork | tf-serve)", name)
 }
 
+// RequestSource yields requests in arrival order; workload.Iter is the
+// canonical implementation.
+type RequestSource interface {
+	Next() (workload.Request, bool)
+}
+
 // Options configures a serving run.
 type Options struct {
 	Platform Platform
@@ -74,6 +86,14 @@ type Options struct {
 	// indefinitely. Clockwork needs no cap — its SLO-awareness drops
 	// hopeless requests instead. Defaults to 4×MaxBatch.
 	QueueCap int
+	// Metrics selects the latency recorder: exact (every sample kept)
+	// or sketch (bounded memory, ~0.5% percentile error).
+	Metrics metrics.Mode
+	// Observer, when non-nil, receives every per-request Result as it is
+	// produced, in emission order. The simulator retains no per-request
+	// state itself; tests and trace tools that need raw results hook in
+	// here.
+	Observer func(Result)
 }
 
 func (o Options) withDefaults() Options {
@@ -117,9 +137,24 @@ type Result struct {
 	SLOMiss   bool
 }
 
-// Stats aggregates a serving run.
+// Stats aggregates a serving run. It holds summaries — counts, rates,
+// and a latency recorder — never the per-request results themselves; use
+// Options.Observer to tap the raw result stream.
 type Stats struct {
-	Results       []Result
+	// Lat records delivered-request latencies; nil until the run starts.
+	Lat metrics.Recorder
+
+	// Total counts every request (delivered + dropped); Delivered,
+	// Drops, SLOMisses, Correct, and Exits break the outcomes down.
+	// SLOMisses and Correct count delivered requests only; Exits counts
+	// delivered requests that left at a ramp.
+	Total     int
+	Delivered int
+	Drops     int
+	SLOMisses int
+	Correct   int
+	Exits     int
+
 	AvgBatch      float64
 	DropRate      float64
 	SLOMissRate   float64
@@ -127,52 +162,143 @@ type Stats struct {
 	// Accuracy is the fraction of delivered results matching the
 	// original model.
 	Accuracy float64
+
+	// FirstArrivalMS and LastDoneMS bound the run's makespan.
+	FirstArrivalMS float64
+	LastDoneMS     float64
+
+	batches    metrics.Counter
+	sawArrival bool
 }
 
-// Latencies returns the latency distribution of delivered requests.
-func (s *Stats) Latencies() *metrics.Dist {
-	d := metrics.NewDist(len(s.Results))
-	for _, r := range s.Results {
-		if !r.Dropped {
-			d.Add(r.LatencyMS)
+// Latencies returns the latency recorder of delivered requests.
+func (s *Stats) Latencies() metrics.Recorder { return s.Lat }
+
+// noteArrival tracks the first arrival timestamp for throughput spans.
+func (s *Stats) noteArrival(r workload.Request) {
+	if !s.sawArrival {
+		s.FirstArrivalMS = r.ArrivalMS
+		s.sawArrival = true
+	}
+}
+
+// record folds one result into the aggregates and forwards it to the
+// observer.
+func (s *Stats) record(r Result, observer func(Result)) {
+	s.Total++
+	if r.Dropped {
+		s.Drops++
+	} else {
+		s.Delivered++
+		if r.SLOMiss {
+			s.SLOMisses++
+		}
+		if r.Correct {
+			s.Correct++
+		}
+		if r.ExitIndex >= 0 {
+			s.Exits++
+		}
+		s.Lat.Add(r.LatencyMS)
+		if done := r.ArrivalMS + r.LatencyMS; done > s.LastDoneMS {
+			s.LastDoneMS = done
 		}
 	}
-	return d
+	if observer != nil {
+		observer(r)
+	}
+}
+
+// finalize computes the derived rates once the run is complete.
+func (s *Stats) finalize() {
+	s.AvgBatch = s.batches.Mean()
+	if s.Total == 0 {
+		return
+	}
+	s.DropRate = float64(s.Drops) / float64(s.Total)
+	if s.Delivered > 0 {
+		s.SLOMissRate = float64(s.SLOMisses) / float64(s.Delivered)
+		s.Accuracy = float64(s.Correct) / float64(s.Delivered)
+	}
+	if s.LastDoneMS > 0 {
+		if span := s.LastDoneMS - s.FirstArrivalMS; span > 0 {
+			s.ThroughputQPS = float64(s.Delivered) / span * 1000
+		}
+	}
+}
+
+// lookahead wraps a RequestSource with a one-request peek buffer — all
+// the future the scheduling policies ever need.
+type lookahead struct {
+	src RequestSource
+	buf workload.Request
+	has bool
+	eof bool
+}
+
+func (l *lookahead) peek() (workload.Request, bool) {
+	if l.has {
+		return l.buf, true
+	}
+	if l.eof {
+		return workload.Request{}, false
+	}
+	r, ok := l.src.Next()
+	if !ok {
+		l.eof = true
+		return workload.Request{}, false
+	}
+	l.buf, l.has = r, true
+	return r, true
+}
+
+func (l *lookahead) pop() (workload.Request, bool) {
+	r, ok := l.peek()
+	l.has = false
+	return r, ok
 }
 
 // Run simulates serving the request stream with the handler.
-func Run(reqs []workload.Request, h Handler, opts Options) *Stats {
+func Run(src RequestSource, h Handler, opts Options) *Stats {
 	opts = opts.withDefaults()
-	results := make([]Result, 0, len(reqs))
-	var batches metrics.Counter
+	st := &Stats{Lat: metrics.NewRecorder(opts.Metrics, 4096)}
+	in := &lookahead{src: src}
 
 	now := 0.0 // GPU-free time
-	i := 0     // next arrival index
 	queue := make([]workload.Request, 0, opts.MaxBatch*4)
 
-	for i < len(reqs) || len(queue) > 0 {
+	for {
 		// Admit every request that has arrived by `now`.
-		for i < len(reqs) && reqs[i].ArrivalMS <= now {
-			if opts.Platform == TFServe && len(queue) >= opts.QueueCap {
-				results = append(results, Result{
-					ID: reqs[i].ID, ArrivalMS: reqs[i].ArrivalMS,
-					Dropped: true, SLOMiss: true, ExitIndex: -1,
-				})
-			} else {
-				queue = append(queue, reqs[i])
+		for {
+			next, ok := in.peek()
+			if !ok || next.ArrivalMS > now {
+				break
 			}
-			i++
+			in.pop()
+			st.noteArrival(next)
+			if opts.Platform == TFServe && len(queue) >= opts.QueueCap {
+				st.record(Result{
+					ID: next.ID, ArrivalMS: next.ArrivalMS,
+					Dropped: true, SLOMiss: true, ExitIndex: -1,
+				}, opts.Observer)
+			} else {
+				queue = append(queue, next)
+			}
 		}
 		if len(queue) == 0 {
+			next, ok := in.peek()
+			if !ok {
+				break // stream exhausted and nothing queued: done
+			}
 			// Idle: jump to the next arrival.
-			now = reqs[i].ArrivalMS
+			now = next.ArrivalMS
 			continue
 		}
 
 		var batch []workload.Request
 		switch opts.Platform {
 		case Clockwork:
-			batch, queue, results = clockworkPick(queue, results, now, h, opts)
+			batch, queue = clockworkPick(queue, st, now, h, opts)
 			if batch == nil {
 				// Everything queued was dropped; loop to admit more.
 				continue
@@ -184,12 +310,16 @@ func Run(reqs []workload.Request, h Handler, opts Options) *Stats {
 			// have far lower per-request cost (§2.1). The hold is
 			// admitted only while the oldest request still meets its
 			// SLO.
-			if len(batch) == len(queue)+len(batch) { // took the whole queue
+			if len(queue) == 0 { // the batch took the whole queue
 				oldestWait := now - batch[0].ArrivalMS
 				if oldestWait > 0.25*opts.SLOms {
 					extended := false
-					for len(batch) < opts.MaxBatch && i < len(reqs) {
-						next := reqs[i].ArrivalMS
+					for len(batch) < opts.MaxBatch {
+						nreq, ok := in.peek()
+						if !ok {
+							break
+						}
+						next := nreq.ArrivalMS
 						hold := next - now
 						if hold < 0 {
 							hold = 0
@@ -207,14 +337,16 @@ func Run(reqs []workload.Request, h Handler, opts Options) *Stats {
 							now = next
 							oldestWait = now - batch[0].ArrivalMS
 						}
-						batch = append(batch, reqs[i])
-						i++
+						in.pop()
+						st.noteArrival(nreq)
+						batch = append(batch, nreq)
 					}
 				}
 			}
 		case TFServe:
+			next, more := in.peek()
 			var wait float64
-			batch, queue, wait = tfservePick(queue, now, i < len(reqs), reqsNextArrival(reqs, i), opts)
+			batch, queue, wait = tfservePick(queue, now, more, next.ArrivalMS, opts)
 			if batch == nil {
 				now += wait
 				continue
@@ -224,11 +356,11 @@ func Run(reqs []workload.Request, h Handler, opts Options) *Stats {
 		b := len(batch)
 		start := now
 		dur := h.BatchLatency(b)
-		batches.Add(float64(b))
+		st.batches.Add(float64(b))
 		for _, req := range batch {
 			out := h.Serve(req.Sample, b)
 			lat := start + out.ServeMS - req.ArrivalMS
-			results = append(results, Result{
+			st.record(Result{
 				ID:        req.ID,
 				ArrivalMS: req.ArrivalMS,
 				LatencyMS: lat,
@@ -237,39 +369,33 @@ func Run(reqs []workload.Request, h Handler, opts Options) *Stats {
 				ExitIndex: out.ExitIndex,
 				Correct:   out.Correct,
 				SLOMiss:   lat > opts.SLOms,
-			})
+			}, opts.Observer)
 		}
 		now = start + dur
 	}
 
-	return summarize(results, batches, reqs)
-}
-
-func reqsNextArrival(reqs []workload.Request, i int) float64 {
-	if i < len(reqs) {
-		return reqs[i].ArrivalMS
-	}
-	return 0
+	st.finalize()
+	return st
 }
 
 // clockworkPick drops requests whose SLO is unreachable even at batch
 // size 1, then selects the largest batch that keeps the oldest remaining
 // request within its SLO.
-func clockworkPick(queue []workload.Request, results []Result, now float64, h Handler, opts Options) ([]workload.Request, []workload.Request, []Result) {
+func clockworkPick(queue []workload.Request, st *Stats, now float64, h Handler, opts Options) ([]workload.Request, []workload.Request) {
 	// Drop hopeless requests (oldest first).
 	for len(queue) > 0 {
 		oldest := queue[0]
 		if now-oldest.ArrivalMS+h.BatchLatency(1) <= opts.SLOms {
 			break
 		}
-		results = append(results, Result{
+		st.record(Result{
 			ID: oldest.ID, ArrivalMS: oldest.ArrivalMS, Dropped: true, SLOMiss: true,
 			ExitIndex: -1,
-		})
+		}, opts.Observer)
 		queue = queue[1:]
 	}
 	if len(queue) == 0 {
-		return nil, queue, results
+		return nil, queue
 	}
 	b := 1
 	maxB := opts.MaxBatch
@@ -280,8 +406,7 @@ func clockworkPick(queue []workload.Request, results []Result, now float64, h Ha
 	for b < maxB && oldestWait+h.BatchLatency(b+1) <= opts.SLOms {
 		b++
 	}
-	batch := queue[:b]
-	return batch, queue[b:], results
+	return queue[:b], queue[b:]
 }
 
 // tfservePick forms a batch when max_batch_size requests are waiting or
@@ -307,42 +432,4 @@ func tfservePick(queue []workload.Request, now float64, more bool, nextArrival f
 		wait = 1e-6
 	}
 	return nil, queue, wait
-}
-
-func summarize(results []Result, batches metrics.Counter, reqs []workload.Request) *Stats {
-	s := &Stats{Results: results, AvgBatch: batches.Mean()}
-	if len(results) == 0 {
-		return s
-	}
-	drops, misses, correct, delivered := 0, 0, 0, 0
-	var lastDone float64
-	for _, r := range results {
-		if r.Dropped {
-			drops++
-			continue
-		}
-		delivered++
-		if r.SLOMiss {
-			misses++
-		}
-		if r.Correct {
-			correct++
-		}
-		if done := r.ArrivalMS + r.LatencyMS; done > lastDone {
-			lastDone = done
-		}
-	}
-	n := float64(len(results))
-	s.DropRate = float64(drops) / n
-	if delivered > 0 {
-		s.SLOMissRate = float64(misses) / float64(delivered)
-		s.Accuracy = float64(correct) / float64(delivered)
-	}
-	if lastDone > 0 {
-		span := lastDone - reqs[0].ArrivalMS
-		if span > 0 {
-			s.ThroughputQPS = float64(delivered) / span * 1000
-		}
-	}
-	return s
 }

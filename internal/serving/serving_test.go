@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestVanillaLowRateBatchOne(t *testing.T) {
 	// 30fps with a 16.4ms model: Clockwork should serve almost entirely
 	// at batch size 1 (the paper's CV observation, §4.5).
 	s := workload.Video(0, 2000, 30, 1)
-	stats := Run(s.Requests, h, Options{Platform: Clockwork, SLOms: m.SLO()})
+	stats := Run(s.Iter(), h, Options{Platform: Clockwork, SLOms: m.SLO()})
 	if stats.AvgBatch > 1.5 {
 		t.Fatalf("avg batch %v at 30fps, want ~1", stats.AvgBatch)
 	}
@@ -38,7 +39,7 @@ func TestClockworkRespectsSLO(t *testing.T) {
 	m, h := vanillaResNet()
 	qps := trace.TargetQPS(m)
 	s := workload.Amazon(4000, qps, 2)
-	stats := Run(s.Requests, h, Options{Platform: Clockwork, SLOms: m.SLO()})
+	stats := Run(s.Iter(), h, Options{Platform: Clockwork, SLOms: m.SLO()})
 	// Clockwork plans batches against the SLO: delivered requests should
 	// essentially never miss it (drops absorb infeasibility).
 	if stats.SLOMissRate > 0.001 {
@@ -50,7 +51,7 @@ func TestClockworkDropsUnderOverload(t *testing.T) {
 	m, h := vanillaResNet()
 	// 10x the sustainable rate must induce drops.
 	s := workload.Amazon(4000, 10*trace.TargetQPS(m), 3)
-	stats := Run(s.Requests, h, Options{Platform: Clockwork, SLOms: m.SLO()})
+	stats := Run(s.Iter(), h, Options{Platform: Clockwork, SLOms: m.SLO()})
 	if stats.DropRate < 0.2 {
 		t.Fatalf("drop rate %v under 10x overload, want substantial", stats.DropRate)
 	}
@@ -61,7 +62,7 @@ func TestSnippetCriterionHolds(t *testing.T) {
 	for _, m := range []*model.Model{model.BERTBase(), model.GPT2Medium()} {
 		h := &VanillaHandler{Model: m}
 		s := workload.Amazon(3000, trace.TargetQPS(m), 4)
-		stats := Run(s.Requests, h, Options{Platform: Clockwork, SLOms: m.SLO()})
+		stats := Run(s.Iter(), h, Options{Platform: Clockwork, SLOms: m.SLO()})
 		if stats.DropRate > 0.2 {
 			t.Errorf("%s: drop rate %v > 20%% at target qps", m.Name, stats.DropRate)
 		}
@@ -82,7 +83,7 @@ func TestTFServeBatchSizeKnob(t *testing.T) {
 		// TF-Serving accumulates batches up to batch_timeout; operators
 		// scale the timeout with the target batch size.
 		timeout := 1 + float64(mb-1)*1000/qps
-		stats := Run(s.Requests, h, Options{Platform: TFServe, SLOms: m.SLO(), MaxBatch: mb, BatchTimeoutMS: timeout})
+		stats := Run(s.Iter(), h, Options{Platform: TFServe, SLOms: m.SLO(), MaxBatch: mb, BatchTimeoutMS: timeout})
 		med := stats.Latencies().Median()
 		if i > 0 {
 			if stats.AvgBatch <= prevBatch {
@@ -105,43 +106,51 @@ func TestTFServeDeliversEverythingAtLowRate(t *testing.T) {
 	h := &VanillaHandler{Model: m}
 	// A rate far below bs=1 capacity never overflows the queue.
 	s := workload.Amazon(2000, 5, 6)
-	stats := Run(s.Requests, h, Options{Platform: TFServe, SLOms: m.SLO(), MaxBatch: 8})
+	stats := Run(s.Iter(), h, Options{Platform: TFServe, SLOms: m.SLO(), MaxBatch: 8})
 	if stats.DropRate != 0 {
 		t.Fatalf("tf-serve dropped requests at a trivial rate: %v", stats.DropRate)
 	}
-	if len(stats.Results) != 2000 {
-		t.Fatalf("delivered %d results, want 2000", len(stats.Results))
+	if stats.Delivered != 2000 {
+		t.Fatalf("delivered %d results, want 2000", stats.Delivered)
 	}
 }
 
 func TestResultsCompleteAndConsistent(t *testing.T) {
 	m, h := vanillaResNet()
 	s := workload.Video(2, 1000, 30, 7)
-	stats := Run(s.Requests, h, Options{Platform: Clockwork, SLOms: m.SLO()})
+	// The simulator keeps no per-request state; the Observer hook is the
+	// streaming tap for raw results.
 	seen := make(map[int]bool)
-	for _, r := range stats.Results {
-		if seen[r.ID] {
-			t.Fatalf("request %d served twice", r.ID)
-		}
-		seen[r.ID] = true
-		if !r.Dropped {
-			if r.LatencyMS < r.ServeMS-1e-9 {
-				t.Fatalf("latency %v below serve time %v", r.LatencyMS, r.ServeMS)
+	var bad string
+	stats := Run(s.Iter(), h, Options{
+		Platform: Clockwork, SLOms: m.SLO(),
+		Observer: func(r Result) {
+			if seen[r.ID] {
+				bad = fmt.Sprintf("request %d served twice", r.ID)
 			}
-			if r.BatchSize < 1 {
-				t.Fatalf("bad batch size %d", r.BatchSize)
+			seen[r.ID] = true
+			if !r.Dropped {
+				if r.LatencyMS < r.ServeMS-1e-9 {
+					bad = fmt.Sprintf("latency %v below serve time %v", r.LatencyMS, r.ServeMS)
+				}
+				if r.BatchSize < 1 {
+					bad = fmt.Sprintf("bad batch size %d", r.BatchSize)
+				}
 			}
-		}
+		},
+	})
+	if bad != "" {
+		t.Fatal(bad)
 	}
-	if len(seen) != 1000 {
-		t.Fatalf("served %d distinct requests, want 1000", len(seen))
+	if len(seen) != 1000 || stats.Total != 1000 {
+		t.Fatalf("served %d distinct requests (stats.Total=%d), want 1000", len(seen), stats.Total)
 	}
 }
 
 func TestVanillaAlwaysCorrect(t *testing.T) {
 	m, h := vanillaResNet()
 	s := workload.Video(0, 500, 30, 9)
-	stats := Run(s.Requests, h, Options{Platform: Clockwork, SLOms: m.SLO()})
+	stats := Run(s.Iter(), h, Options{Platform: Clockwork, SLOms: m.SLO()})
 	if stats.Accuracy != 1.0 {
 		t.Fatalf("vanilla accuracy %v, want 1", stats.Accuracy)
 	}
@@ -152,9 +161,9 @@ func TestApparateLowersLatencyKeepsAccuracy(t *testing.T) {
 	prof := exitsim.ProfileFor(m, exitsim.KindVideo)
 	s := workload.Video(0, 6000, 30, 11)
 
-	vStats := Run(s.Requests, &VanillaHandler{Model: m}, Options{Platform: Clockwork, SLOms: m.SLO()})
+	vStats := Run(s.Iter(), &VanillaHandler{Model: m}, Options{Platform: Clockwork, SLOms: m.SLO()})
 	h := NewApparate(model.ResNet50(), prof, 0.02, controller.Config{})
-	aStats := Run(s.Requests, h, Options{Platform: Clockwork, SLOms: m.SLO()})
+	aStats := Run(s.Iter(), h, Options{Platform: Clockwork, SLOms: m.SLO()})
 
 	vMed := vStats.Latencies().Median()
 	aMed := aStats.Latencies().Median()
@@ -177,9 +186,9 @@ func TestApparateThroughputPreserved(t *testing.T) {
 	prof := exitsim.ProfileFor(m, exitsim.KindAmazon)
 	qps := trace.TargetQPS(m)
 	s := workload.Amazon(4000, qps, 12)
-	vStats := Run(s.Requests, &VanillaHandler{Model: m}, Options{Platform: Clockwork, SLOms: m.SLO()})
+	vStats := Run(s.Iter(), &VanillaHandler{Model: m}, Options{Platform: Clockwork, SLOms: m.SLO()})
 	h := NewApparate(model.BERTBase(), prof, 0.02, controller.Config{})
-	aStats := Run(s.Requests, h, Options{Platform: Clockwork, SLOms: m.SLO()})
+	aStats := Run(s.Iter(), h, Options{Platform: Clockwork, SLOms: m.SLO()})
 	if aStats.ThroughputQPS < vStats.ThroughputQPS*0.97 {
 		t.Fatalf("apparate throughput %v vs vanilla %v: more than 3%% loss",
 			aStats.ThroughputQPS, vStats.ThroughputQPS)
@@ -195,14 +204,8 @@ func TestStaticEEHandlerExits(t *testing.T) {
 		r.Threshold = 0.3
 	}
 	s := workload.Video(0, 500, 30, 13)
-	stats := Run(s.Requests, static, Options{Platform: Clockwork, SLOms: m.SLO()})
-	exits := 0
-	for _, r := range stats.Results {
-		if r.ExitIndex >= 0 {
-			exits++
-		}
-	}
-	if exits == 0 {
+	stats := Run(s.Iter(), static, Options{Platform: Clockwork, SLOms: m.SLO()})
+	if stats.Exits == 0 {
 		t.Fatal("static EE handler produced no exits")
 	}
 }
@@ -216,7 +219,7 @@ func TestPlatformStrings(t *testing.T) {
 func TestThroughputPositive(t *testing.T) {
 	m, h := vanillaResNet()
 	s := workload.Video(0, 300, 30, 15)
-	stats := Run(s.Requests, h, Options{Platform: Clockwork, SLOms: m.SLO()})
+	stats := Run(s.Iter(), h, Options{Platform: Clockwork, SLOms: m.SLO()})
 	if stats.ThroughputQPS <= 0 || math.IsNaN(stats.ThroughputQPS) {
 		t.Fatalf("throughput %v", stats.ThroughputQPS)
 	}
@@ -236,7 +239,8 @@ func TestCatchUpBatchingDrainsBacklog(t *testing.T) {
 	for i := range reqs {
 		reqs[i] = workload.Request{ID: i, ArrivalMS: float64(i) * 10} // 100 qps
 	}
-	stats := Run(reqs, &VanillaHandler{Model: m}, Options{Platform: Clockwork, SLOms: 60})
+	src := workload.FromSlice("knife-edge", 0, reqs)
+	stats := Run(src.Iter(), &VanillaHandler{Model: m}, Options{Platform: Clockwork, SLOms: 60})
 	if stats.DropRate > 0.01 {
 		t.Fatalf("drop rate %v at 102%% bs-1 utilization; catch-up batching should absorb it", stats.DropRate)
 	}

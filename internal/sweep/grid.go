@@ -40,6 +40,9 @@ type Grid struct {
 	Budgets    []float64
 	AccLosses  []float64
 	ExitRules  []string
+	// Metrics lists recorder modes to sweep ("exact", "sketch"); empty
+	// means exact only.
+	Metrics []string
 
 	// N is the request count per classification scenario; GenN is the
 	// sequence count per generative scenario (generative decoding costs
@@ -94,6 +97,9 @@ func (g Grid) withDefaults() Grid {
 	if len(g.ExitRules) == 0 {
 		g.ExitRules = []string{""}
 	}
+	if len(g.Metrics) == 0 {
+		g.Metrics = []string{""}
+	}
 	if g.N == 0 {
 		g.N = 4000
 	}
@@ -132,6 +138,7 @@ func axisTokens(sc core.Scenario) map[string]string {
 		"rate":     fmt.Sprintf("%g", sc.RateMult),
 		"budget":   fmt.Sprintf("%g", sc.RampBudget),
 		"accloss":  fmt.Sprintf("%g", sc.AccLoss),
+		"metrics":  sc.Metrics,
 	}
 	if sc.ExitRule != "" {
 		t["rule"] = sc.ExitRule
@@ -244,28 +251,30 @@ func (g Grid) Expand() ([]core.Scenario, error) {
 							for _, budget := range g.Budgets {
 								for _, accLoss := range g.AccLosses {
 									for _, rule := range g.ExitRules {
-										sc := core.Scenario{
-											Model: mName, Workload: wl,
-											Platform: plat, Dispatch: disp, Replicas: rep,
-											N: n, RateMult: rate,
-											RampBudget: budget, AccLoss: accLoss,
-											ExitRule: rule,
-										}.Normalize()
-										id := sc.Identity()
-										if seen[id] {
-											continue
+										for _, mm := range g.Metrics {
+											sc := core.Scenario{
+												Model: mName, Workload: wl,
+												Platform: plat, Dispatch: disp, Replicas: rep,
+												N: n, RateMult: rate,
+												RampBudget: budget, AccLoss: accLoss,
+												ExitRule: rule, Metrics: mm,
+											}.Normalize()
+											id := sc.Identity()
+											if seen[id] {
+												continue
+											}
+											seen[id] = true
+											tokens := axisTokens(sc)
+											if !only.keep(tokens) || skip.drops(tokens) {
+												continue
+											}
+											if err := sc.Validate(); err != nil {
+												return nil, err
+											}
+											sc.Seed = DeriveSeed(g.Seed, id)
+											out = append(out, sc)
+											ids = append(ids, id)
 										}
-										seen[id] = true
-										tokens := axisTokens(sc)
-										if !only.keep(tokens) || skip.drops(tokens) {
-											continue
-										}
-										if err := sc.Validate(); err != nil {
-											return nil, err
-										}
-										sc.Seed = DeriveSeed(g.Seed, id)
-										out = append(out, sc)
-										ids = append(ids, id)
 									}
 								}
 							}

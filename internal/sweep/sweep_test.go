@@ -154,6 +154,64 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestDeterministicAcrossWorkersSketch extends the determinism gate to
+// sketch-mode metrics: the bounded-memory recorder must not introduce
+// any order- or concurrency-dependent state, so workers=1 and workers=8
+// emit byte-identical JSON and CSV here too.
+func TestDeterministicAcrossWorkersSketch(t *testing.T) {
+	g := smallGrid()
+	g.Metrics = []string{"sketch"}
+	scs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		if sc.Metrics != "sketch" {
+			t.Fatalf("metrics axis not plumbed: %s", sc.Key())
+		}
+	}
+	emit := func(workers int) (string, string) {
+		results := Run(scs, Options{Workers: workers})
+		var j, c bytes.Buffer
+		if err := WriteJSON(&j, results); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCSV(&c, results); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	j1, c1 := emit(1)
+	j8, c8 := emit(8)
+	if j1 != j8 {
+		t.Fatal("sketch-mode JSON output differs between -workers 1 and -workers 8")
+	}
+	if c1 != c8 {
+		t.Fatal("sketch-mode CSV output differs between -workers 1 and -workers 8")
+	}
+	if !strings.Contains(c1, "sketch") {
+		t.Fatal("CSV missing metrics column value")
+	}
+}
+
+// TestMetricsAxisKeepsExactSeeds pins that adding the metrics axis did
+// not shift the seed derivation for pre-existing exact scenarios: the
+// exact default is omitted from the identity string.
+func TestMetricsAxisKeepsExactSeeds(t *testing.T) {
+	sc := core.Scenario{Model: "resnet18", Workload: "video-0", N: 100}.Normalize()
+	if sc.Metrics != "exact" {
+		t.Fatalf("normalized metrics = %q", sc.Metrics)
+	}
+	if strings.Contains(sc.Identity(), "metrics=") {
+		t.Fatalf("exact metrics leaked into identity: %s", sc.Identity())
+	}
+	sk := sc
+	sk.Metrics = "sketch"
+	if !strings.Contains(sk.Identity(), "metrics=sketch") {
+		t.Fatalf("sketch metrics missing from identity: %s", sk.Identity())
+	}
+}
+
 func TestRunReportsPerScenarioErrors(t *testing.T) {
 	scs := []core.Scenario{
 		{Model: "resnet18", Workload: "video-0", N: 200, Seed: 1},

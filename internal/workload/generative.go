@@ -24,15 +24,62 @@ type GenRequest struct {
 	Bias float64
 }
 
-// GenStream is a complete generative workload.
+// GenStream is a generative workload: like Stream, a restartable lazy
+// generator rather than a materialized slice.
 type GenStream struct {
-	Name     string
-	Kind     exitsim.Kind
-	Requests []GenRequest
+	Name string
+	Kind exitsim.Kind
+
+	n   int
+	gen func() func(i int) GenRequest
 }
 
 // Len returns the number of requests.
-func (s *GenStream) Len() int { return len(s.Requests) }
+func (s *GenStream) Len() int { return s.n }
+
+// Iter returns a fresh iterator over the stream's requests in arrival
+// order.
+func (s *GenStream) Iter() *GenIter {
+	return &GenIter{next: s.gen(), n: s.n}
+}
+
+// GenIter is a pull-based pass over one generative stream.
+type GenIter struct {
+	next func(i int) GenRequest
+	i    int
+	n    int
+}
+
+// Next returns the next request, or ok=false when exhausted.
+func (it *GenIter) Next() (GenRequest, bool) {
+	if it.i >= it.n {
+		return GenRequest{}, false
+	}
+	r := it.next(it.i)
+	it.i++
+	return r, true
+}
+
+// Prefix materializes the first n requests — the bootstrap helper for
+// policies tuned on a stream prefix (FREE's one-time tuning).
+func (s *GenStream) Prefix(n int) []GenRequest {
+	if n > s.n {
+		n = s.n
+	}
+	out := make([]GenRequest, 0, n)
+	it := s.Iter()
+	for len(out) < n {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Materialize generates the full request slice (compatibility shim).
+func (s *GenStream) Materialize() []GenRequest { return s.Prefix(s.n) }
 
 // TokenSampler produces the per-token samples of one sequence. Token
 // difficulties follow an AR(1) around the sequence's base difficulty:
@@ -73,31 +120,32 @@ func (t *TokenSampler) Next() exitsim.Sample {
 
 func genStream(name string, kind exitsim.Kind, n int, qps float64, seed uint64,
 	promptLo, promptHi, genLo, genHi int, baseMu, muSpread float64) *GenStream {
-	r := rng.New(seed)
-	arrivals := trace.Poisson(n, qps, r.Split())
-	reqs := make([]GenRequest, n)
-	for i := 0; i < n; i++ {
-		// Sequences outside the bootstrap prefix can be
-		// out-of-distribution for statically tuned ramps (topic drift):
-		// some carry a miscalibration bias, and the topic mix drifts
-		// harder over the stream — the structure that penalizes FREE's
-		// one-time tuning (§4.4) while Apparate retunes.
-		bias := 0.0
-		if i > n/10 && r.Bool(0.15) {
-			bias = r.Float64() * 0.04
-		}
-		drift := 0.30 * float64(i) / float64(n)
-		reqs[i] = GenRequest{
-			ID:             i,
-			ArrivalMS:      arrivals[i],
-			PromptLen:      promptLo + r.Intn(promptHi-promptLo+1),
-			GenLen:         genLo + r.Intn(genHi-genLo+1),
-			SeqSeed:        r.Uint64(),
-			BaseDifficulty: clamp(baseMu+drift+(r.Float64()-0.5)*muSpread, 0.05, 1.0),
-			Bias:           bias,
+	gen := func() func(i int) GenRequest {
+		r := rng.New(seed)
+		arrivals := trace.NewPoisson(qps, r.Split())
+		return func(i int) GenRequest {
+			// Sequences outside the bootstrap prefix can be
+			// out-of-distribution for statically tuned ramps (topic drift):
+			// some carry a miscalibration bias, and the topic mix drifts
+			// harder over the stream — the structure that penalizes FREE's
+			// one-time tuning (§4.4) while Apparate retunes.
+			bias := 0.0
+			if i > n/10 && r.Bool(0.15) {
+				bias = r.Float64() * 0.04
+			}
+			drift := 0.30 * float64(i) / float64(n)
+			return GenRequest{
+				ID:             i,
+				ArrivalMS:      arrivals.Next(),
+				PromptLen:      promptLo + r.Intn(promptHi-promptLo+1),
+				GenLen:         genLo + r.Intn(genHi-genLo+1),
+				SeqSeed:        r.Uint64(),
+				BaseDifficulty: clamp(baseMu+drift+(r.Float64()-0.5)*muSpread, 0.05, 1.0),
+				Bias:           bias,
+			}
 		}
 	}
-	return &GenStream{Name: name, Kind: kind, Requests: reqs}
+	return &GenStream{Name: name, Kind: kind, n: n, gen: gen}
 }
 
 // CNNDailyMail returns the text-summarization workload: long prompts,

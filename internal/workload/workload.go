@@ -6,6 +6,12 @@
 // spatiotemporal continuity for video, weak continuity with category- and
 // user-level regime shifts for NLP — because that structure is what makes
 // continual adaptation necessary (Figure 5, Table 1).
+//
+// Streams are lazy: a Stream is a restartable generator, and Iter()
+// returns a pull-based iterator that derives each request from the
+// stream's seed on demand. Generating a million-request trace therefore
+// costs O(1) memory; Materialize and Samples exist as compatibility
+// shims for tests and small offline studies that want the whole slice.
 package workload
 
 import (
@@ -23,22 +29,100 @@ type Request struct {
 	Sample    exitsim.Sample
 }
 
-// Stream is a complete classification workload: requests in arrival
-// order.
+// Stream is a classification workload: a name, a calibration kind, a
+// length, and a restartable request generator. Every Iter() call starts
+// a fresh deterministic pass over the same trace, so a stream can be
+// served any number of times (vanilla, Apparate, baselines) with
+// identical requests and no materialized state.
 type Stream struct {
-	Name     string
-	Kind     exitsim.Kind
-	Requests []Request
+	Name string
+	Kind exitsim.Kind
+
+	n int
+	// gen returns a fresh generator closure; the closure is called once
+	// per request, in order, and must be deterministic given the
+	// stream's construction parameters.
+	gen func() func(i int) Request
+}
+
+// NewStream builds a lazy stream from a generator factory. n is the
+// request count; gen must return a closure producing request i on its
+// i-th call.
+func NewStream(name string, kind exitsim.Kind, n int, gen func() func(i int) Request) *Stream {
+	return &Stream{Name: name, Kind: kind, n: n, gen: gen}
+}
+
+// FromSlice wraps an explicit request slice in a Stream, for tests and
+// callers that build traces by hand.
+func FromSlice(name string, kind exitsim.Kind, reqs []Request) *Stream {
+	return NewStream(name, kind, len(reqs), func() func(i int) Request {
+		return func(i int) Request { return reqs[i] }
+	})
 }
 
 // Len returns the number of requests.
-func (s *Stream) Len() int { return len(s.Requests) }
+func (s *Stream) Len() int { return s.n }
+
+// Iter returns a fresh iterator over the stream's requests in arrival
+// order.
+func (s *Stream) Iter() *Iter {
+	return &Iter{next: s.gen(), n: s.n}
+}
+
+// Iter is a pull-based pass over one stream; obtain one with
+// Stream.Iter.
+type Iter struct {
+	next func(i int) Request
+	i    int
+	n    int
+}
+
+// Next returns the next request, or ok=false when the stream is
+// exhausted.
+func (it *Iter) Next() (Request, bool) {
+	if it.i >= it.n {
+		return Request{}, false
+	}
+	r := it.next(it.i)
+	it.i++
+	return r, true
+}
+
+// Materialize generates the full request slice — the compatibility shim
+// for callers that need random access. It costs O(n) memory; the
+// serving simulators consume Iter instead.
+func (s *Stream) Materialize() []Request {
+	out := make([]Request, 0, s.n)
+	it := s.Iter()
+	for {
+		r, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
 
 // Samples returns just the samples, in order.
 func (s *Stream) Samples() []exitsim.Sample {
-	out := make([]exitsim.Sample, len(s.Requests))
-	for i, r := range s.Requests {
-		out[i] = r.Sample
+	return s.SamplePrefix(s.n)
+}
+
+// SamplePrefix returns the first n samples — the bootstrap-set helper
+// that avoids materializing the whole trace when only a prefix is
+// needed.
+func (s *Stream) SamplePrefix(n int) []exitsim.Sample {
+	if n > s.n {
+		n = s.n
+	}
+	out := make([]exitsim.Sample, 0, n)
+	it := s.Iter()
+	for len(out) < n {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r.Sample)
 	}
 	return out
 }
@@ -62,66 +146,63 @@ func Video(id, frames int, fps float64, seed uint64) *Stream {
 	if id < 0 || id > 7 {
 		panic(fmt.Sprintf("workload: video id %d out of [0,7]", id))
 	}
-	r := rng.New(seed ^ uint64(id)*0x9e37)
-	// Day scenes (even ids) are easier than night scenes (odd ids).
-	baseMu := 0.22 + 0.05*float64(id%4)
-	if id%2 == 1 {
-		baseMu += 0.16
-	}
-	const (
-		theta = 0.025 // mean reversion strength
-		sigma = 0.018 // per-frame volatility
-	)
-	mu := baseMu
-	bias := 0.0
-	sceneStart := 0
-	d := mu
-	arrivals := trace.FixedRate(frames, fps)
-	reqs := make([]Request, frames)
-	nextSwitch := 1500 + r.Intn(2000)
-	for i := 0; i < frames; i++ {
-		if i == nextSwitch {
-			// Scene change: new regime mean; novel scenes carry a
-			// transient miscalibration bias for ramps trained on
-			// bootstrap data, fading as the scene's appearance becomes
-			// familiar again.
-			mu = clamp(baseMu+(r.Float64()-0.35)*0.3, 0.05, 0.9)
-			if r.Bool(0.3) && i > frames/10 {
-				bias = r.Float64() * 0.05
-			} else {
-				bias = 0
+	gen := func() func(i int) Request {
+		r := rng.New(seed ^ uint64(id)*0x9e37)
+		// Day scenes (even ids) are easier than night scenes (odd ids).
+		baseMu := 0.22 + 0.05*float64(id%4)
+		if id%2 == 1 {
+			baseMu += 0.16
+		}
+		const (
+			theta = 0.025 // mean reversion strength
+			sigma = 0.018 // per-frame volatility
+		)
+		mu := baseMu
+		bias := 0.0
+		sceneStart := 0
+		d := mu
+		arrivals := trace.NewFixedRate(fps)
+		nextSwitch := 1500 + r.Intn(2000)
+		return func(i int) Request {
+			if i == nextSwitch {
+				// Scene change: new regime mean; novel scenes carry a
+				// transient miscalibration bias for ramps trained on
+				// bootstrap data, fading as the scene's appearance becomes
+				// familiar again.
+				mu = clamp(baseMu+(r.Float64()-0.35)*0.3, 0.05, 0.9)
+				if r.Bool(0.3) && i > frames/10 {
+					bias = r.Float64() * 0.05
+				} else {
+					bias = 0
+				}
+				sceneStart = i
+				nextSwitch = i + 1500 + r.Intn(2000)
 			}
-			sceneStart = i
-			nextSwitch = i + 1500 + r.Intn(2000)
-		}
-		frameBias := bias * (1 - float64(i-sceneStart)/600)
-		if frameBias < 0 {
-			frameBias = 0
-		}
-		d = clamp(d+theta*(mu-d)+sigma*r.Norm(), 0.02, 1.15)
-		// Per-frame difficulty spikes: occluded or small objects make
-		// some frames hard even in easy scenes, so deep ramps always
-		// see a trickle of exits.
-		df := d
-		if r.Bool(0.12) {
-			df = clamp(d+r.Float64()*0.35, 0.02, 1.15)
-		}
-		reqs[i] = Request{
-			ID:        i,
-			ArrivalMS: arrivals[i],
-			Sample: exitsim.Sample{
-				Difficulty: df,
-				MatchU:     r.Float64(),
-				Bias:       frameBias,
-				NoiseKey:   r.Uint64(),
-			},
+			frameBias := bias * (1 - float64(i-sceneStart)/600)
+			if frameBias < 0 {
+				frameBias = 0
+			}
+			d = clamp(d+theta*(mu-d)+sigma*r.Norm(), 0.02, 1.15)
+			// Per-frame difficulty spikes: occluded or small objects make
+			// some frames hard even in easy scenes, so deep ramps always
+			// see a trickle of exits.
+			df := d
+			if r.Bool(0.12) {
+				df = clamp(d+r.Float64()*0.35, 0.02, 1.15)
+			}
+			return Request{
+				ID:        i,
+				ArrivalMS: arrivals.Next(),
+				Sample: exitsim.Sample{
+					Difficulty: df,
+					MatchU:     r.Float64(),
+					Bias:       frameBias,
+					NoiseKey:   r.Uint64(),
+				},
+			}
 		}
 	}
-	return &Stream{
-		Name:     fmt.Sprintf("video-%d", id),
-		Kind:     exitsim.KindVideo,
-		Requests: reqs,
-	}
+	return NewStream(fmt.Sprintf("video-%d", id), exitsim.KindVideo, frames, gen)
 }
 
 // Amazon returns the Amazon-reviews classification workload: requests
@@ -131,81 +212,83 @@ func Video(id, frames int, fps float64, seed uint64) *Stream {
 // the bootstrap prefix carry miscalibration bias — the structure behind
 // the paper's smaller NLP wins and frequent adaptation (§4.2).
 func Amazon(n int, meanQPS float64, seed uint64) *Stream {
-	r := rng.New(seed)
-	arrivals := trace.MAF(n, meanQPS, r.Split())
-	reqs := make([]Request, 0, n)
-	catMu := 0.0
-	catBias := 0.0
-	userOffset := 0.0
-	catLeft, userLeft := 0, 0
-	for i := 0; i < n; i++ {
-		if catLeft == 0 {
-			catLeft = 2000 + r.Intn(8000)
-			catMu = 0.22 + r.Float64()*0.33
-			// Categories streamed after the bootstrap prefix may be
-			// out-of-distribution for the trained ramps.
-			if i > n/10 && r.Bool(0.3) {
-				catBias = r.Float64() * 0.04
-			} else {
-				catBias = 0
+	gen := func() func(i int) Request {
+		r := rng.New(seed)
+		arrivals := trace.NewMAF(meanQPS, r.Split())
+		catMu := 0.0
+		catBias := 0.0
+		userOffset := 0.0
+		catLeft, userLeft := 0, 0
+		return func(i int) Request {
+			if catLeft == 0 {
+				catLeft = 2000 + r.Intn(8000)
+				catMu = 0.22 + r.Float64()*0.33
+				// Categories streamed after the bootstrap prefix may be
+				// out-of-distribution for the trained ramps.
+				if i > n/10 && r.Bool(0.3) {
+					catBias = r.Float64() * 0.04
+				} else {
+					catBias = 0
+				}
+				userLeft = 0
 			}
-			userLeft = 0
+			if userLeft == 0 {
+				userLeft = 20 + r.Intn(120)
+				userOffset = r.Norm() * 0.08
+			}
+			d := clamp(catMu+userOffset+r.Norm()*0.17, 0.02, 1.2)
+			catLeft--
+			userLeft--
+			return Request{
+				ID:        i,
+				ArrivalMS: arrivals.Next(),
+				Sample: exitsim.Sample{
+					Difficulty: d,
+					MatchU:     r.Float64(),
+					Bias:       catBias,
+					NoiseKey:   r.Uint64(),
+				},
+			}
 		}
-		if userLeft == 0 {
-			userLeft = 20 + r.Intn(120)
-			userOffset = r.Norm() * 0.08
-		}
-		d := clamp(catMu+userOffset+r.Norm()*0.17, 0.02, 1.2)
-		reqs = append(reqs, Request{
-			ID:        i,
-			ArrivalMS: arrivals[i],
-			Sample: exitsim.Sample{
-				Difficulty: d,
-				MatchU:     r.Float64(),
-				Bias:       catBias,
-				NoiseKey:   r.Uint64(),
-			},
-		})
-		catLeft--
-		userLeft--
 	}
-	return &Stream{Name: "amazon", Kind: exitsim.KindAmazon, Requests: reqs}
+	return NewStream("amazon", exitsim.KindAmazon, n, gen)
 }
 
 // IMDB returns the IMDB movie-review workload streamed sentence by
 // sentence: sentences within one review share the review's difficulty
 // level (mild continuity), while consecutive reviews are unrelated.
 func IMDB(n int, meanQPS float64, seed uint64) *Stream {
-	r := rng.New(seed)
-	arrivals := trace.MAF(n, meanQPS, r.Split())
-	reqs := make([]Request, 0, n)
-	reviewMu := 0.0
-	reviewBias := 0.0
-	sentLeft := 0
-	for i := 0; i < n; i++ {
-		if sentLeft == 0 {
-			sentLeft = 3 + r.Intn(12)
-			reviewMu = 0.14 + r.Float64()*0.5
-			if i > n/10 && r.Bool(0.2) {
-				reviewBias = r.Float64() * 0.04
-			} else {
-				reviewBias = 0
+	gen := func() func(i int) Request {
+		r := rng.New(seed)
+		arrivals := trace.NewMAF(meanQPS, r.Split())
+		reviewMu := 0.0
+		reviewBias := 0.0
+		sentLeft := 0
+		return func(i int) Request {
+			if sentLeft == 0 {
+				sentLeft = 3 + r.Intn(12)
+				reviewMu = 0.14 + r.Float64()*0.5
+				if i > n/10 && r.Bool(0.2) {
+					reviewBias = r.Float64() * 0.04
+				} else {
+					reviewBias = 0
+				}
+			}
+			d := clamp(reviewMu+r.Norm()*0.13, 0.02, 1.2)
+			sentLeft--
+			return Request{
+				ID:        i,
+				ArrivalMS: arrivals.Next(),
+				Sample: exitsim.Sample{
+					Difficulty: d,
+					MatchU:     r.Float64(),
+					Bias:       reviewBias,
+					NoiseKey:   r.Uint64(),
+				},
 			}
 		}
-		d := clamp(reviewMu+r.Norm()*0.13, 0.02, 1.2)
-		reqs = append(reqs, Request{
-			ID:        i,
-			ArrivalMS: arrivals[i],
-			Sample: exitsim.Sample{
-				Difficulty: d,
-				MatchU:     r.Float64(),
-				Bias:       reviewBias,
-				NoiseKey:   r.Uint64(),
-			},
-		})
-		sentLeft--
 	}
-	return &Stream{Name: "imdb", Kind: exitsim.KindIMDB, Requests: reqs}
+	return NewStream("imdb", exitsim.KindIMDB, n, gen)
 }
 
 // Names lists every classification workload name in canonical order:

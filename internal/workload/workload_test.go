@@ -17,7 +17,11 @@ func TestVideoBasics(t *testing.T) {
 	if s.Kind != exitsim.KindVideo {
 		t.Fatalf("kind = %v", s.Kind)
 	}
-	for i, r := range s.Requests {
+	reqs := s.Materialize()
+	if len(reqs) != 1000 {
+		t.Fatalf("materialized %d requests, want 1000", len(reqs))
+	}
+	for i, r := range reqs {
 		if r.ID != i {
 			t.Fatalf("request %d has ID %d", i, r.ID)
 		}
@@ -26,27 +30,77 @@ func TestVideoBasics(t *testing.T) {
 		}
 	}
 	// Fixed 30fps arrivals.
-	if math.Abs(s.Requests[1].ArrivalMS-1000.0/30) > 1e-9 {
-		t.Fatalf("frame spacing = %v", s.Requests[1].ArrivalMS)
+	if math.Abs(reqs[1].ArrivalMS-1000.0/30) > 1e-9 {
+		t.Fatalf("frame spacing = %v", reqs[1].ArrivalMS)
+	}
+}
+
+// TestIterMatchesMaterialize pins the streaming contract: a pull-based
+// pass yields exactly the materialized trace, and a second Iter() call
+// replays it from the start.
+func TestIterMatchesMaterialize(t *testing.T) {
+	for _, s := range []*Stream{Video(1, 800, 30, 3), Amazon(800, 100, 3), IMDB(800, 100, 3)} {
+		reqs := s.Materialize()
+		for pass := 0; pass < 2; pass++ {
+			it := s.Iter()
+			for i := 0; ; i++ {
+				r, ok := it.Next()
+				if !ok {
+					if i != len(reqs) {
+						t.Fatalf("%s pass %d: iterator ended at %d, want %d", s.Name, pass, i, len(reqs))
+					}
+					break
+				}
+				if r != reqs[i] {
+					t.Fatalf("%s pass %d: request %d differs between Iter and Materialize", s.Name, pass, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSamplePrefix(t *testing.T) {
+	s := Amazon(2000, 100, 4)
+	full := s.Samples()
+	pre := s.SamplePrefix(100)
+	if len(pre) != 100 {
+		t.Fatalf("SamplePrefix len = %d", len(pre))
+	}
+	for i := range pre {
+		if pre[i] != full[i] {
+			t.Fatalf("SamplePrefix diverges at %d", i)
+		}
+	}
+	if got := s.SamplePrefix(5000); len(got) != 2000 {
+		t.Fatalf("SamplePrefix over length = %d, want 2000", len(got))
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	reqs := []Request{{ID: 0, ArrivalMS: 1}, {ID: 1, ArrivalMS: 2}}
+	s := FromSlice("manual", exitsim.KindVideo, reqs)
+	got := s.Materialize()
+	if len(got) != 2 || got[0] != reqs[0] || got[1] != reqs[1] {
+		t.Fatalf("FromSlice round-trip mismatch: %+v", got)
 	}
 }
 
 func TestVideoDeterministic(t *testing.T) {
-	a := Video(3, 500, 30, 7)
-	b := Video(3, 500, 30, 7)
-	for i := range a.Requests {
-		if a.Requests[i].Sample != b.Requests[i].Sample {
+	a := Video(3, 500, 30, 7).Materialize()
+	b := Video(3, 500, 30, 7).Materialize()
+	for i := range a {
+		if a[i].Sample != b[i].Sample {
 			t.Fatalf("video not deterministic at request %d", i)
 		}
 	}
 }
 
 func TestVideosDiffer(t *testing.T) {
-	a := Video(0, 100, 30, 1)
-	b := Video(1, 100, 30, 1)
+	a := Video(0, 100, 30, 1).Materialize()
+	b := Video(1, 100, 30, 1).Materialize()
 	same := 0
-	for i := range a.Requests {
-		if a.Requests[i].Sample.Difficulty == b.Requests[i].Sample.Difficulty {
+	for i := range a {
+		if a[i].Sample.Difficulty == b[i].Sample.Difficulty {
 			same++
 		}
 	}
@@ -58,7 +112,12 @@ func TestVideosDiffer(t *testing.T) {
 func TestVideoNightHarder(t *testing.T) {
 	mean := func(s *Stream) float64 {
 		sum := 0.0
-		for _, r := range s.Requests {
+		it := s.Iter()
+		for {
+			r, ok := it.Next()
+			if !ok {
+				break
+			}
 			sum += r.Sample.Difficulty
 		}
 		return sum / float64(s.Len())
@@ -91,7 +150,7 @@ func TestVideoTemporalContinuity(t *testing.T) {
 	}
 	diffs := func(s *Stream) []float64 {
 		out := make([]float64, s.Len())
-		for i, r := range s.Requests {
+		for i, r := range s.Materialize() {
 			out[i] = r.Sample.Difficulty
 		}
 		return out
@@ -123,7 +182,7 @@ func TestAmazonBasics(t *testing.T) {
 		t.Fatalf("bad stream: len=%d kind=%v", s.Len(), s.Kind)
 	}
 	arr := make([]float64, s.Len())
-	for i, r := range s.Requests {
+	for i, r := range s.Materialize() {
 		arr[i] = r.ArrivalMS
 	}
 	if !sort.Float64sAreSorted(arr) {
@@ -133,14 +192,15 @@ func TestAmazonBasics(t *testing.T) {
 
 func TestAmazonBootstrapUnbiased(t *testing.T) {
 	s := Amazon(20000, 100, 3)
+	reqs := s.Materialize()
 	for i := 0; i < s.Len()/10-1; i++ {
-		if s.Requests[i].Sample.Bias != 0 {
-			t.Fatalf("bootstrap-prefix request %d has bias %v", i, s.Requests[i].Sample.Bias)
+		if reqs[i].Sample.Bias != 0 {
+			t.Fatalf("bootstrap-prefix request %d has bias %v", i, reqs[i].Sample.Bias)
 		}
 	}
 	// Some later requests must carry bias (drift that forces retuning).
 	biased := 0
-	for _, r := range s.Requests[s.Len()/10:] {
+	for _, r := range reqs[s.Len()/10:] {
 		if r.Sample.Bias > 0 {
 			biased++
 		}
@@ -158,7 +218,7 @@ func TestIMDBSentenceContinuity(t *testing.T) {
 	// Sentences of one review cluster: lag-1 absolute difficulty change
 	// should be smaller than for a shuffled stream on average.
 	d := make([]float64, s.Len())
-	for i, r := range s.Requests {
+	for i, r := range s.Materialize() {
 		d[i] = r.Sample.Difficulty
 	}
 	adjacent := 0.0
@@ -198,8 +258,9 @@ func TestSamplesAccessor(t *testing.T) {
 	if len(samples) != 50 {
 		t.Fatalf("Samples len = %d", len(samples))
 	}
+	reqs := s.Materialize()
 	for i := range samples {
-		if samples[i] != s.Requests[i].Sample {
+		if samples[i] != reqs[i].Sample {
 			t.Fatal("Samples mismatch")
 		}
 	}
@@ -214,7 +275,7 @@ func TestGenStreams(t *testing.T) {
 		if g.Len() != 200 {
 			t.Fatalf("%s len = %d", name, g.Len())
 		}
-		for _, r := range g.Requests {
+		for _, r := range g.Materialize() {
 			if r.PromptLen <= 0 || r.GenLen <= 0 {
 				t.Fatalf("%s: non-positive lengths %+v", name, r)
 			}
@@ -230,7 +291,12 @@ func TestSQuADShorterThanCNN(t *testing.T) {
 	sq := SQuAD(2000, 2, 7)
 	meanGen := func(g *GenStream) float64 {
 		sum := 0
-		for _, r := range g.Requests {
+		it := g.Iter()
+		for {
+			r, ok := it.Next()
+			if !ok {
+				break
+			}
 			sum += r.GenLen
 		}
 		return float64(sum) / float64(g.Len())

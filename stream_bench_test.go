@@ -1,0 +1,93 @@
+package repro
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// millionScenario is the streaming-pipeline showcase: a 1,000,000-request
+// video scenario in sketch mode. Before the streaming refactor the
+// pipeline materialized the trace and every per-request result twice
+// (vanilla + Apparate) — several hundred MB live for 1M requests; the
+// streaming pipeline holds the queue, the handlers, and two fixed-size
+// sketches regardless of trace length.
+var millionScenario = core.Scenario{
+	Model: "resnet18", Workload: "video-0",
+	N: 1_000_000, Seed: 1, Metrics: "sketch",
+}
+
+// BenchmarkStreamingMillion runs the 1M-request scenario end to end.
+// Allocation per request stays flat with trace length (see
+// BENCH_stream.json for the before/after record at 100k requests).
+func BenchmarkStreamingMillion(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunScenario(millionScenario)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("streaming 1M: p50 %.2f->%.2fms, p99 %.2f->%.2fms, acc-loss %.4f\n",
+				res.Vanilla.P50ms, res.Apparate.P50ms,
+				res.Vanilla.P99ms, res.Apparate.P99ms, res.AccDelta)
+		}
+	}
+}
+
+// TestStreamingMillionBoundedMemory is the CI memory-guard smoke test
+// (make mem-smoke): it runs the 1M-request sketch scenario while
+// sampling the live heap and fails if the peak grows anywhere near what
+// a materialized trace would need. The job exports GOMEMLIMIT=256MiB as
+// a second line of defense. Gated behind APPARATE_MEM_GUARD so the
+// regular `go test ./...` tier stays fast.
+func TestStreamingMillionBoundedMemory(t *testing.T) {
+	if os.Getenv("APPARATE_MEM_GUARD") == "" {
+		t.Skip("set APPARATE_MEM_GUARD=1 to run the 1M-request memory guard")
+	}
+	stop := make(chan struct{})
+	peakCh := make(chan uint64)
+	go func() {
+		var peak uint64
+		var ms runtime.MemStats
+		ticker := time.NewTicker(10 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				peakCh <- peak
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	start := time.Now()
+	res, err := core.RunScenario(millionScenario)
+	dur := time.Since(start)
+	close(stop)
+	peak := <-peakCh
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != millionScenario.N {
+		t.Fatalf("served %d requests, want %d", res.Requests, millionScenario.N)
+	}
+	// A materialized pipeline needs >400 MB live for this scenario
+	// (trace + two result slices + two latency slices); the streaming
+	// pipeline's live heap is O(queue + handlers + sketches). 128 MiB
+	// leaves generous headroom over the observed ~10 MB peak while
+	// still catching any reintroduced O(n) buffer.
+	const limit = 128 << 20
+	t.Logf("1M-request sketch scenario: %.1fs, peak live heap %.1f MiB", dur.Seconds(), float64(peak)/(1<<20))
+	if peak > limit {
+		t.Fatalf("peak live heap %d bytes exceeds %d: the pipeline is materializing per-request state again", peak, limit)
+	}
+}

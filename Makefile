@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench sweep-smoke mem-smoke ci
+.PHONY: build test vet race bench sweep-smoke mem-smoke golden ci
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,9 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector pass over the concurrent sweep engine (and the layers
-# it drives).
+# it drives, including the autoscaled cluster path).
 race:
-	$(GO) test -race ./internal/sweep ./internal/serving ./internal/core
+	$(GO) test -race ./internal/sweep/... ./internal/serving/... ./internal/autoscale/... ./internal/core/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -25,6 +25,13 @@ SMOKE_FLAGS = -models resnet18,resnet50,vgg11,distilbert-base,bert-base,t5-large
 	-workloads video-0,video-1,amazon,imdb,cnn-dailymail \
 	-budgets 0.01,0.02 -n 1500 -gen-n 10 -seed 1 -quiet
 
+# Bursty-schedule autoscaling grid (2-phase and square-wave schedules,
+# 1..4 replicas): the load-dynamics acceptance gate, byte-identical at
+# any worker count in both metrics modes like the main grid.
+AUTOSCALE_FLAGS = -models resnet50,bert-base -workloads video-1,amazon \
+	-rate-schedule 'phases:15x1/15x4,square:30/0.5/3' -autoscale 1..4 \
+	-n 2000 -seed 3 -quiet
+
 sweep-smoke:
 	$(GO) run ./cmd/apparate-sweep $(SMOKE_FLAGS) -workers 8 -out /tmp/sweep-w8.json
 	$(GO) run ./cmd/apparate-sweep $(SMOKE_FLAGS) -workers 1 -out /tmp/sweep-w1.json >/dev/null
@@ -32,12 +39,24 @@ sweep-smoke:
 	$(GO) run ./cmd/apparate-sweep $(SMOKE_FLAGS) -metrics sketch -workers 8 -out /tmp/sweep-sk-w8.json >/dev/null
 	$(GO) run ./cmd/apparate-sweep $(SMOKE_FLAGS) -metrics sketch -workers 1 -out /tmp/sweep-sk-w1.json >/dev/null
 	cmp /tmp/sweep-sk-w1.json /tmp/sweep-sk-w8.json
-	@echo "sweep-smoke: deterministic across worker counts (exact + sketch)"
+	$(GO) run ./cmd/apparate-sweep $(AUTOSCALE_FLAGS) -workers 8 -out /tmp/sweep-as-w8.json >/dev/null
+	$(GO) run ./cmd/apparate-sweep $(AUTOSCALE_FLAGS) -workers 1 -out /tmp/sweep-as-w1.json >/dev/null
+	cmp /tmp/sweep-as-w1.json /tmp/sweep-as-w8.json
+	$(GO) run ./cmd/apparate-sweep $(AUTOSCALE_FLAGS) -metrics sketch -workers 8 -out /tmp/sweep-as-sk-w8.json >/dev/null
+	$(GO) run ./cmd/apparate-sweep $(AUTOSCALE_FLAGS) -metrics sketch -workers 1 -out /tmp/sweep-as-sk-w1.json >/dev/null
+	cmp /tmp/sweep-as-sk-w1.json /tmp/sweep-as-sk-w8.json
+	@echo "sweep-smoke: deterministic across worker counts (exact + sketch, incl. autoscale grid)"
 
-# Memory guard: one 1,000,000-request scenario in sketch mode must
-# complete under a 256 MiB soft heap limit with a bounded live heap —
-# the streaming pipeline's O(1)-memory claim, enforced.
+# Memory guard: one 1,000,000-request scheduled-rate scenario in sketch
+# mode must complete under a 256 MiB soft heap limit with a bounded live
+# heap — the streaming pipeline's O(1)-memory claim, enforced, including
+# the time-varying arrival source.
 mem-smoke:
 	GOMEMLIMIT=256MiB APPARATE_MEM_GUARD=1 $(GO) test -run TestStreamingMillionBoundedMemory -v .
+
+# Refresh the pinned golden sweep CSV (testdata/golden_sweep.csv) after
+# an intentional behavior change; review the diff like code.
+golden:
+	$(GO) test -run TestGoldenSweep -update .
 
 ci: build test vet race sweep-smoke mem-smoke

@@ -38,25 +38,29 @@ func main() {
 		genSlots  = flag.Int("gen-slots", 0, "generative continuous-batching slots (0 = engine default)")
 		genFlush  = flag.Int("gen-flush", 0, "generative pending-token flush threshold (0 = engine default)")
 		metricsMd = flag.String("metrics", "exact", "latency recorder: exact | sketch (sketch = O(1) memory for huge -n)")
+		schedule  = flag.String("rate-schedule", "", "time-varying arrival schedule, e.g. phases:10x1/10x4 | sine:60/0.5/2 | square:30/0.5/4 (empty = native arrivals)")
+		autoscl   = flag.String("autoscale", "", "replica autoscaler spec, e.g. 1..4 or 1..4/window=2000/cool=6000 (empty = fixed -replicas)")
 		seed      = flag.Uint64("seed", 1, "workload seed")
 	)
 	flag.Parse()
 
 	sc := core.Scenario{
-		Model:      *modelName,
-		Workload:   *wlName,
-		Platform:   *platform,
-		Dispatch:   *dispatch,
-		Replicas:   *replicas,
-		N:          *n,
-		Seed:       *seed,
-		RateMult:   *rate,
-		RampBudget: *budget,
-		AccLoss:    *accLoss,
-		ExitRule:   *exitRule,
-		GenSlots:   *genSlots,
-		GenFlush:   *genFlush,
-		Metrics:    *metricsMd,
+		Model:        *modelName,
+		Workload:     *wlName,
+		Platform:     *platform,
+		Dispatch:     *dispatch,
+		Replicas:     *replicas,
+		N:            *n,
+		Seed:         *seed,
+		RateMult:     *rate,
+		RampBudget:   *budget,
+		AccLoss:      *accLoss,
+		ExitRule:     *exitRule,
+		GenSlots:     *genSlots,
+		GenFlush:     *genFlush,
+		Metrics:      *metricsMd,
+		RateSchedule: *schedule,
+		Autoscale:    *autoscl,
 	}
 	res, err := core.RunScenario(sc)
 	if err != nil {
@@ -103,4 +107,8 @@ func printResult(res *core.Result) {
 	}
 	fmt.Printf("adaptation: %d threshold tuning rounds, %d ramp adjustment rounds, %d active ramps\n",
 		res.TuneRounds, res.AdjustRounds, res.ActiveRamps)
+	if res.PeakReplicas > 0 {
+		fmt.Printf("autoscale:  %d scale-ups, %d scale-downs, peak %d replicas (spec %s)\n",
+			res.ScaleUps, res.ScaleDowns, res.PeakReplicas, sc.Autoscale)
+	}
 }

@@ -87,6 +87,8 @@ func main() {
 		accLosses  = flag.String("acc-losses", "", "comma-separated accuracy-loss constraints (default: 0.01)")
 		rules      = flag.String("exit-rules", "", "comma-separated exit rules (default: entropy)")
 		metricsMd  = flag.String("metrics", "", "comma-separated recorder modes: exact | sketch (default: exact)")
+		schedules  = flag.String("rate-schedule", "", "comma-separated arrival-rate schedules, e.g. 'phases:10x1/10x4,sine:60/0.5/2' (default: native stationary arrivals)")
+		autoscales = flag.String("autoscale", "", "comma-separated replica-autoscaler specs, e.g. '1..4,1..4/window=2000' (default: fixed replicas)")
 		n          = flag.Int("n", 4000, "requests per classification scenario")
 		genN       = flag.Int("gen-n", 40, "sequences per generative scenario")
 		seed       = flag.Uint64("seed", 1, "base seed; per-scenario seeds derive from it")
@@ -103,21 +105,23 @@ func main() {
 	flag.Parse()
 
 	grid := sweep.Grid{
-		Models:     splitList(*models),
-		Workloads:  splitList(*workloads),
-		Platforms:  splitList(*platforms),
-		Dispatches: splitList(*dispatches),
-		Replicas:   splitInts(*replicas, "replicas"),
-		RateMults:  splitFloats(*rates, "rates"),
-		Budgets:    splitFloats(*budgets, "budgets"),
-		AccLosses:  splitFloats(*accLosses, "acc-losses"),
-		ExitRules:  splitList(*rules),
-		Metrics:    splitList(*metricsMd),
-		N:          *n,
-		GenN:       *genN,
-		Seed:       *seed,
-		Only:       splitList(*only),
-		Skip:       splitList(*skip),
+		Models:        splitList(*models),
+		Workloads:     splitList(*workloads),
+		Platforms:     splitList(*platforms),
+		Dispatches:    splitList(*dispatches),
+		Replicas:      splitInts(*replicas, "replicas"),
+		RateMults:     splitFloats(*rates, "rates"),
+		Budgets:       splitFloats(*budgets, "budgets"),
+		AccLosses:     splitFloats(*accLosses, "acc-losses"),
+		ExitRules:     splitList(*rules),
+		Metrics:       splitList(*metricsMd),
+		RateSchedules: splitList(*schedules),
+		Autoscales:    splitList(*autoscales),
+		N:             *n,
+		GenN:          *genN,
+		Seed:          *seed,
+		Only:          splitList(*only),
+		Skip:          splitList(*skip),
 	}
 	// Reject bad output options before spending compute on the grid.
 	if _, err := sweep.Rank(nil, *rank); err != nil {

@@ -1,0 +1,100 @@
+package repro
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/ instead of comparing")
+
+// goldenGrid is the pinned regression grid: a small fixed-seed sweep
+// spanning both scenario classes (CV video, NLP trace), both metrics
+// modes, and the load-dynamics axes (scheduled rates, autoscaling).
+// Every quantity in the pipeline is deterministic, so its CSV output is
+// byte-stable across runs and worker counts on a given architecture —
+// any diff there is a behavior change, intended or not. Across
+// architectures the Go spec permits different floating-point fusion
+// (e.g. FMA on arm64), which can flip last-ulp bits in the
+// full-precision CSV floats; the committed pin is generated on the CI
+// architecture (linux/amd64), so refresh it there, not on a laptop of
+// a different architecture.
+func goldenGrid() sweep.Grid {
+	return sweep.Grid{
+		Models:        []string{"resnet18", "distilbert-base"},
+		Workloads:     []string{"video-0", "amazon"},
+		Platforms:     []string{"clockwork"},
+		Metrics:       []string{"exact", "sketch"},
+		RateSchedules: []string{"", "phases:20x1/20x3"},
+		Autoscales:    []string{"", "1..4"},
+		N:             800,
+		Seed:          7,
+	}
+}
+
+// TestGoldenSweep is the regression gate the sweep substrate was built
+// for: it runs the pinned grid and byte-compares the CSV against
+// testdata/golden_sweep.csv. When a change intentionally shifts
+// results, refresh the pin with `make golden` and review the diff like
+// any other code change.
+func TestGoldenSweep(t *testing.T) {
+	scenarios, err := goldenGrid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) == 0 {
+		t.Fatal("golden grid expanded to zero scenarios")
+	}
+	results := sweep.Run(scenarios, sweep.Options{Workers: 4})
+	for _, r := range results {
+		if r.Err != "" {
+			t.Fatalf("golden scenario %s failed: %s", r.Scenario.Key(), r.Err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := sweep.WriteCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "golden_sweep.csv")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d scenarios)", path, len(results))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file: %v (run `make golden` to create it)", err)
+	}
+	if bytes.Equal(buf.Bytes(), want) {
+		return
+	}
+	t.Fatalf("sweep output diverged from %s:\n%s\nIf the change is intended, refresh with `make golden` and commit the diff.",
+		path, firstDiff(want, buf.Bytes()))
+}
+
+// firstDiff renders the first differing line of the two CSV bodies.
+func firstDiff(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("golden has %d lines, got %d", len(wl), len(gl))
+}

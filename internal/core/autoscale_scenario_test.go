@@ -1,0 +1,122 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestScenarioNormalizeAutoscaleOwnsReplicas(t *testing.T) {
+	sc := Scenario{Model: "resnet50", Workload: "video-0", N: 100,
+		Replicas: 3, Dispatch: "least-loaded", Autoscale: "1..4"}.Normalize()
+	if sc.Replicas != 1 {
+		t.Fatalf("autoscale scenario normalized to %d replicas, want min=1", sc.Replicas)
+	}
+	if sc.Dispatch != "least-loaded" {
+		t.Fatalf("autoscale scenario collapsed dispatch to %q; the cluster can grow past one replica", sc.Dispatch)
+	}
+}
+
+func TestScenarioNormalizeGenerativeClearsLoadDynamics(t *testing.T) {
+	sc := Scenario{Model: "t5-large", Workload: "cnn-dailymail", N: 10,
+		RateSchedule: "phases:10x1/10x4", Autoscale: "1..4"}.Normalize()
+	if sc.RateSchedule != "" || sc.Autoscale != "" {
+		t.Fatalf("generative scenario kept schedule=%q autoscale=%q", sc.RateSchedule, sc.Autoscale)
+	}
+}
+
+func TestScenarioIdentityNewAxesOmittedWhenUnset(t *testing.T) {
+	base := Scenario{Model: "resnet50", Workload: "video-0", N: 100}
+	id := base.Identity()
+	if strings.Contains(id, "schedule=") || strings.Contains(id, "autoscale=") {
+		t.Fatalf("unset load-dynamics axes leaked into identity %q", id)
+	}
+	sched := base
+	sched.RateSchedule = "phases:10x1/10x4"
+	as := base
+	as.Autoscale = "1..4"
+	if sched.Identity() == id || as.Identity() == id {
+		t.Fatal("set load-dynamics axes did not change the identity")
+	}
+	if !strings.Contains(sched.Identity(), "schedule=phases:10x1/10x4") {
+		t.Fatalf("schedule token missing from %q", sched.Identity())
+	}
+	if !strings.Contains(as.Identity(), "autoscale=1..4") {
+		t.Fatalf("autoscale token missing from %q", as.Identity())
+	}
+}
+
+func TestScenarioValidateRejectsBadLoadDynamics(t *testing.T) {
+	base := Scenario{Model: "resnet50", Workload: "video-0", N: 100}
+	bad := base
+	bad.RateSchedule = "phases:10"
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad schedule spec validated")
+	}
+	bad = base
+	bad.Autoscale = "4..1"
+	if err := bad.Validate(); err == nil {
+		t.Fatal("inverted autoscale range validated")
+	}
+	good := base
+	good.RateSchedule = "sine:60/0.5/2"
+	good.Autoscale = "1..4/window=2000"
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid load-dynamics scenario rejected: %v", err)
+	}
+}
+
+func TestRunScenarioAutoscaled(t *testing.T) {
+	sc := Scenario{
+		Model: "bert-base", Workload: "amazon", N: 5000, Seed: 11,
+		RateSchedule: "phases:15x1/15x4", Autoscale: "1..4",
+	}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakReplicas < 2 {
+		t.Fatalf("4x bursts peaked at %d replicas; autoscaling never engaged", res.PeakReplicas)
+	}
+	if res.ScaleUps == 0 {
+		t.Fatal("no scale-ups recorded")
+	}
+	if res.Requests != sc.N {
+		t.Fatalf("served %d requests, want %d", res.Requests, sc.N)
+	}
+	// JSON stability for pre-existing scenarios: the new fields are
+	// omitempty, so a non-autoscaled result must not mention them.
+	plain, err := RunScenario(Scenario{Model: "resnet18", Workload: "video-0", N: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"scale_ups", "scale_downs", "peak_replicas", "rate_schedule", "autoscale"} {
+		if strings.Contains(string(buf), field) {
+			t.Fatalf("non-autoscaled result JSON leaked %q: %s", field, buf)
+		}
+	}
+}
+
+func TestRunScenarioScheduledDeterministic(t *testing.T) {
+	sc := Scenario{
+		Model: "resnet50", Workload: "video-1", N: 3000, Seed: 5,
+		RateSchedule: "square:30/0.5/3", Autoscale: "1..3", Dispatch: "least-loaded",
+	}
+	a, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("scheduled autoscaled scenario not deterministic:\n%s\n%s", ja, jb)
+	}
+}

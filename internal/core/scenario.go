@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/autoscale"
 	"repro/internal/controller"
 	"repro/internal/exitrule"
 	"repro/internal/exitsim"
@@ -51,6 +52,19 @@ type Scenario struct {
 	// a bounded-memory quantile sketch (~0.5% percentile error) so
 	// million-request scenarios run in O(1) memory.
 	Metrics string `json:"metrics,omitempty"`
+	// RateSchedule makes the arrival rate time-varying: a trace.Schedule
+	// spec ("phases:10x1/10x4", "sine:60/0.5/2", "square:30/0.5/4")
+	// whose multipliers apply on top of the native rate × RateMult.
+	// Empty keeps the workload's stationary arrival process.
+	// Classification workloads only; generative scenarios clear it.
+	RateSchedule string `json:"rate_schedule,omitempty"`
+	// Autoscale replaces the fixed Replicas count with a reactive
+	// replica autoscaler: an autoscale spec such as "1..4" or
+	// "1..4/window=2000/cool=6000". When set, Replicas is canonicalized
+	// to the autoscaler's min (the starting width); the cluster then
+	// adds and retires replicas mid-run on windowed backlog and
+	// p99-vs-SLO signals. Classification workloads only.
+	Autoscale string `json:"autoscale,omitempty"`
 }
 
 // Normalize fills defaults and canonicalizes axes that a scenario class
@@ -80,10 +94,19 @@ func (sc Scenario) Normalize() Scenario {
 		sc.Platform = "clockwork"
 		sc.Dispatch = "round-robin"
 		sc.Replicas = 1
+		sc.RateSchedule = ""
+		sc.Autoscale = ""
 	} else {
 		sc.GenSlots, sc.GenFlush = 0, 0
 	}
-	if sc.Replicas == 1 {
+	if sc.Autoscale != "" {
+		// The autoscaler owns the replica axis: runs start at its min
+		// width, and dispatch stays meaningful because the cluster can
+		// grow past one replica.
+		if cfg, err := autoscale.Parse(sc.Autoscale); err == nil {
+			sc.Replicas = cfg.Min
+		}
+	} else if sc.Replicas == 1 {
 		sc.Dispatch = "round-robin"
 	}
 	if sc.Metrics == "" {
@@ -111,6 +134,15 @@ func (sc Scenario) Identity() string {
 	}
 	if sc.GenFlush != 0 {
 		fmt.Fprintf(&b, " flush=%d", sc.GenFlush)
+	}
+	// Like the metrics axis below, schedule and autoscale are omitted
+	// when unset so pre-existing scenario identities (and the seeds
+	// derived from them) are unchanged.
+	if sc.RateSchedule != "" {
+		fmt.Fprintf(&b, " schedule=%s", sc.RateSchedule)
+	}
+	if sc.Autoscale != "" {
+		fmt.Fprintf(&b, " autoscale=%s", sc.Autoscale)
 	}
 	// The exact default is omitted so pre-existing scenario identities
 	// (and the seeds derived from them) are unchanged.
@@ -181,6 +213,13 @@ type Result struct {
 	TuneRounds   int `json:"tune_rounds"`
 	AdjustRounds int `json:"adjust_rounds"`
 	ActiveRamps  int `json:"active_ramps"`
+
+	// Autoscaling activity of the Apparate run (autoscale scenarios
+	// only): committed scale-up/down actions and the widest the cluster
+	// ever grew.
+	ScaleUps     int `json:"scale_ups,omitempty"`
+	ScaleDowns   int `json:"scale_downs,omitempty"`
+	PeakReplicas int `json:"peak_replicas,omitempty"`
 }
 
 // kindFor maps a workload name to its calibration kind.
@@ -216,6 +255,12 @@ func (sc Scenario) Validate() error {
 		}
 	}
 	if _, err := metrics.ParseMode(sc.Metrics); err != nil {
+		return err
+	}
+	if _, err := trace.ParseSchedule(sc.RateSchedule); err != nil {
+		return err
+	}
+	if _, err := autoscale.Parse(sc.Autoscale); err != nil {
 		return err
 	}
 	sc = sc.Normalize()
@@ -282,10 +327,13 @@ func runClassScenario(sc Scenario) (*Result, error) {
 	qps := 30 * sc.RateMult // video frame rate
 	if !workload.IsVideo(sc.Workload) {
 		// The trace-derived sustainable rate scales with cluster width:
-		// R replicas absorb R times the single-replica rate.
+		// R replicas absorb R times the single-replica rate. Autoscaled
+		// scenarios size the rate for the min width, so schedule bursts
+		// are what force the cluster to grow.
 		qps = trace.TargetQPS(m) * sc.RateMult * float64(sc.Replicas)
 	}
-	stream, err := workload.ByName(sc.Workload, sc.N, qps, sc.Seed)
+	sched, _ := trace.ParseSchedule(sc.RateSchedule)
+	stream, err := workload.ByNameSched(sc.Workload, sc.N, qps, sc.Seed, sched)
 	if err != nil {
 		return nil, err
 	}
@@ -300,7 +348,7 @@ func runClassScenario(sc Scenario) (*Result, error) {
 	cfg.Platform, _ = serving.ParsePlatform(sc.Platform)
 	res := &Result{Scenario: sc, Requests: stream.Len()}
 
-	if sc.Replicas == 1 {
+	if sc.Replicas == 1 && sc.Autoscale == "" {
 		sys := New(m, kind, cfg)
 		res.SLOms = sys.Opts.SLOms
 		v := sys.ServeVanilla(stream)
@@ -322,14 +370,21 @@ func runClassScenario(sc Scenario) (*Result, error) {
 		Replicas: sc.Replicas,
 		Dispatch: dispatch,
 	}
+	maxReplicas := sc.Replicas
+	if sc.Autoscale != "" {
+		asCfg, _ := autoscale.Parse(sc.Autoscale)
+		asCfg.SLOms = m.SLO()
+		opts.Autoscale = &asCfg
+		maxReplicas = asCfg.Max
+	}
 	res.SLOms = opts.SLOms
 
 	// One Apparate controller per replica (§3): each replica adapts to
 	// the traffic slice it sees. makeHandler may be called more than
-	// once per index (LeastLoaded uses a dispatch-estimate pass), so we
-	// record the last handler built for each replica — that is the one
-	// that served the sub-stream.
-	handlers := make([]*serving.ApparateHandler, sc.Replicas)
+	// once per index (LeastLoaded and autoscale planning use a
+	// dispatch-estimate pass), so we record the last handler built for
+	// each replica — that is the one that served the sub-stream.
+	handlers := make([]*serving.ApparateHandler, maxReplicas)
 	mkApparate := func(i int) serving.Handler {
 		mm, _ := model.ByName(sc.Model)
 		h := serving.NewApparate(mm, exitsim.ProfileFor(mm, kind), cfg.RampBudget, controller.Config{
@@ -350,7 +405,17 @@ func runClassScenario(sc Scenario) (*Result, error) {
 	v := serving.RunCluster(stream, mkVanilla, opts)
 	a := serving.RunCluster(stream, mkApparate, opts)
 	fillClass(res, v.Merged, a.Merged)
-	for _, h := range handlers {
+	// Sum adaptation activity over the replicas that actually served
+	// traffic: with autoscaling, handlers past the plan's peak exist
+	// only as planning-time estimators.
+	served := len(handlers)
+	if a.Scale != nil {
+		served = a.Scale.Peak()
+		res.ScaleUps = a.Scale.Ups()
+		res.ScaleDowns = a.Scale.Downs()
+		res.PeakReplicas = a.Scale.Peak()
+	}
+	for _, h := range handlers[:served] {
 		res.TuneRounds += h.Ctl.TuneRounds
 		res.AdjustRounds += h.Ctl.AdjustRounds
 		res.ActiveRamps += len(h.Cfg.Active)

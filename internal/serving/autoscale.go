@@ -1,0 +1,70 @@
+package serving
+
+import (
+	"repro/internal/autoscale"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// PlanScale replays the deterministic dispatch backlog model over one
+// stream pass and drives a reactive scaler with windowed signals,
+// returning the replica plan that the cluster replay passes consult.
+//
+// The pass serves nothing: it only advances the same per-replica work
+// horizons the least-loaded dispatcher uses (batch-1 service at
+// estCost), and summarizes each window into an autoscale.Signal — the
+// estimated p99 latency (queueing plus service under the horizon
+// model), the peak per-replica queue backlog, and the utilization of
+// active capacity. Windowed latencies stream into a bounded sketch, so
+// planning is O(1) memory like everything else in the pipeline, and
+// every quantity is a pure function of the stream and the options —
+// the plan is identical at any sweep worker count.
+func PlanScale(stream *workload.Stream, estCost []float64, cfg autoscale.Config, dispatch Dispatch) *autoscale.Plan {
+	sc := autoscale.New(cfg)
+	eff := sc.Config()
+	plan := &autoscale.Plan{Start: sc.Replicas()}
+	asn := assigner{dispatch: dispatch, estCost: estCost, horizon: make([]float64, cfg.Max)}
+
+	winEnd := eff.WindowMS
+	lat := metrics.NewSketch()
+	var peakBacklog, busy float64
+	closeWindow := func() {
+		sig := autoscale.Signal{
+			Requests:      lat.Len(),
+			PeakBacklogMS: peakBacklog,
+			Utilization:   busy / (float64(sc.Replicas()) * eff.WindowMS),
+		}
+		if sig.Requests > 0 {
+			sig.P99LatMS = lat.Percentile(99)
+		}
+		if n, changed := sc.Observe(winEnd, sig); changed {
+			plan.Steps = append(plan.Steps, autoscale.Step{AtMS: winEnd, Replicas: n})
+		}
+		lat = metrics.NewSketch()
+		peakBacklog, busy = 0, 0
+		winEnd += eff.WindowMS
+	}
+
+	it := stream.Iter()
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		// A scaling step at exactly winEnd applies to arrivals >= winEnd,
+		// matching Plan cursor semantics in the replay passes.
+		for r.ArrivalMS >= winEnd {
+			closeWindow()
+		}
+		target := asn.assign(sc.Replicas(), r.ArrivalMS)
+		// After assignment the target's horizon extends past the arrival
+		// by the request's estimated queueing + service time.
+		est := asn.horizon[target] - r.ArrivalMS
+		lat.Add(est)
+		if wait := est - estCost[target]; wait > peakBacklog {
+			peakBacklog = wait
+		}
+		busy += estCost[target]
+	}
+	return plan
+}

@@ -1,0 +1,157 @@
+package serving
+
+import (
+	"testing"
+
+	"repro/internal/autoscale"
+	"repro/internal/model"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// burstStream builds a scheduled workload whose rate alternates between
+// a light phase and an overload phase for one replica of the model.
+func burstStream(m *model.Model, n int, seed uint64) *workload.Stream {
+	sched, err := trace.ParseSchedule("phases:15x1/15x4")
+	if err != nil {
+		panic(err)
+	}
+	s, err := workload.ByNameSched("amazon", n, trace.TargetQPS(m), seed, sched)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestPlanScaleReactsToBursts(t *testing.T) {
+	m := model.BERTBase()
+	s := burstStream(m, 8000, 61)
+	cfg := autoscale.Config{Min: 1, Max: 4, SLOms: m.SLO()}
+	est := []float64{m.Latency(1), m.Latency(1), m.Latency(1), m.Latency(1)}
+	plan := PlanScale(s, est, cfg, RoundRobin)
+	if plan.Start != 1 {
+		t.Fatalf("plan starts at %d replicas, want min=1", plan.Start)
+	}
+	if plan.Peak() < 2 {
+		t.Fatalf("4x bursts never scaled past %d replicas", plan.Peak())
+	}
+	if plan.Ups() == 0 || plan.Downs() == 0 {
+		t.Fatalf("phased load produced %d ups / %d downs; want both positive", plan.Ups(), plan.Downs())
+	}
+	for _, step := range plan.Steps {
+		if step.Replicas < cfg.Min || step.Replicas > cfg.Max {
+			t.Fatalf("plan step %+v outside [%d, %d]", step, cfg.Min, cfg.Max)
+		}
+	}
+}
+
+func TestPlanScaleDeterministic(t *testing.T) {
+	m := model.BERTBase()
+	cfg := autoscale.Config{Min: 1, Max: 4, SLOms: m.SLO()}
+	est := []float64{m.Latency(1), m.Latency(1), m.Latency(1), m.Latency(1)}
+	a := PlanScale(burstStream(m, 6000, 62), est, cfg, LeastLoaded)
+	b := PlanScale(burstStream(m, 6000, 62), est, cfg, LeastLoaded)
+	if a.Start != b.Start || len(a.Steps) != len(b.Steps) {
+		t.Fatalf("plans differ: %+v vs %+v", a, b)
+	}
+	for i := range a.Steps {
+		if a.Steps[i] != b.Steps[i] {
+			t.Fatalf("plan step %d differs: %+v vs %+v", i, a.Steps[i], b.Steps[i])
+		}
+	}
+}
+
+func TestAutoscaledClusterServesEveryRequestOnce(t *testing.T) {
+	m := model.BERTBase()
+	s := burstStream(m, 6000, 63)
+	opts := Options{Platform: Clockwork, SLOms: m.SLO()}
+	for _, d := range []Dispatch{RoundRobin, LeastLoaded} {
+		seen := map[int]bool{}
+		dup := -1
+		copts := ClusterOptions{
+			Options:   opts,
+			Dispatch:  d,
+			Autoscale: &autoscale.Config{Min: 1, Max: 4},
+		}
+		copts.Observer = func(r Result) {
+			if seen[r.ID] {
+				dup = r.ID
+			}
+			seen[r.ID] = true
+		}
+		cluster := RunCluster(s, func(int) Handler { return &VanillaHandler{Model: m} }, copts)
+		if dup >= 0 {
+			t.Fatalf("%v: request %d served twice", d, dup)
+		}
+		if len(seen) != 6000 || cluster.Merged.Total != 6000 {
+			t.Fatalf("%v: %d distinct results (merged total %d), want 6000", d, len(seen), cluster.Merged.Total)
+		}
+		if cluster.Scale == nil {
+			t.Fatalf("%v: autoscaled run returned no plan", d)
+		}
+		if got := len(cluster.PerReplica); got != cluster.Scale.Peak() {
+			t.Fatalf("%v: %d replica passes, want plan peak %d", d, got, cluster.Scale.Peak())
+		}
+	}
+}
+
+// TestAutoscaleAbsorbsBurstsBetterThanMinCluster is the burst-absorption
+// study in miniature: under phased overload, an elastic 1..4 cluster
+// must drop far less than the fixed min-width cluster it starts as.
+func TestAutoscaleAbsorbsBurstsBetterThanMinCluster(t *testing.T) {
+	m := model.BERTBase()
+	s := burstStream(m, 8000, 64)
+	opts := Options{Platform: Clockwork, SLOms: m.SLO()}
+	mk := func(int) Handler { return &VanillaHandler{Model: m} }
+
+	fixed := RunCluster(s, mk, ClusterOptions{Options: opts, Replicas: 1, Dispatch: RoundRobin})
+	elastic := RunCluster(s, mk, ClusterOptions{
+		Options: opts, Dispatch: RoundRobin,
+		Autoscale: &autoscale.Config{Min: 1, Max: 4},
+	})
+
+	if elastic.Merged.DropRate >= fixed.Merged.DropRate {
+		t.Fatalf("elastic drop rate %v not below fixed min-width %v",
+			elastic.Merged.DropRate, fixed.Merged.DropRate)
+	}
+	if fixed.Merged.DropRate < 0.05 {
+		t.Fatalf("burst phases too gentle to exercise autoscaling (fixed drop rate %v)", fixed.Merged.DropRate)
+	}
+}
+
+// TestAutoscaleScaleDownLag measures the retire side: after the last
+// burst, the plan must eventually return to the minimum width (the
+// scale-down-lag study's invariant).
+func TestAutoscaleScaleDownLag(t *testing.T) {
+	m := model.BERTBase()
+	s := burstStream(m, 8000, 65)
+	cfg := autoscale.Config{Min: 1, Max: 4, SLOms: m.SLO()}
+	est := []float64{m.Latency(1), m.Latency(1), m.Latency(1), m.Latency(1)}
+	plan := PlanScale(s, est, cfg, RoundRobin)
+	if plan.Downs() == 0 {
+		t.Fatal("plan never scales down after bursts")
+	}
+	min := plan.Start
+	for _, step := range plan.Steps {
+		if step.Replicas < min {
+			min = step.Replicas
+		}
+	}
+	if min != cfg.Min {
+		t.Fatalf("plan never returned to min width: floor %d, want %d", min, cfg.Min)
+	}
+}
+
+// TestAutoscaleInheritsSLO checks the SLOms fallback from Options.
+func TestAutoscaleInheritsSLO(t *testing.T) {
+	m := model.BERTBase()
+	s := burstStream(m, 4000, 66)
+	opts := Options{Platform: Clockwork, SLOms: m.SLO()}
+	cs := RunCluster(s, func(int) Handler { return &VanillaHandler{Model: m} }, ClusterOptions{
+		Options: opts, Dispatch: RoundRobin,
+		Autoscale: &autoscale.Config{Min: 1, Max: 3}, // SLOms zero: inherit
+	})
+	if cs.Scale == nil || cs.Scale.Peak() < 2 {
+		t.Fatalf("inherited-SLO autoscaling never engaged: %+v", cs.Scale)
+	}
+}

@@ -3,6 +3,7 @@ package serving
 import (
 	"fmt"
 
+	"repro/internal/autoscale"
 	"repro/internal/metrics"
 	"repro/internal/workload"
 )
@@ -55,6 +56,14 @@ type ClusterOptions struct {
 	Options
 	Replicas int
 	Dispatch Dispatch
+	// Autoscale, when non-nil, replaces the fixed Replicas count with a
+	// reactive replica autoscaler: a planning pass over the stream
+	// drives the scaler with windowed backlog/latency signals, and the
+	// resulting Plan decides how many replicas are active at every
+	// arrival. Replicas is ignored; the run starts at Autoscale.Min and
+	// never exceeds Autoscale.Max. A zero Autoscale.SLOms inherits
+	// Options.SLOms.
+	Autoscale *autoscale.Config
 	// ReplicaObserver, when non-nil, receives every per-request Result
 	// tagged with the replica that served it (Options.Observer fires
 	// too, untagged).
@@ -67,6 +76,48 @@ type ClusterStats struct {
 	// Merged aggregates every request's outcome across replicas:
 	// summed counts, merged latency recorders, cluster-wide rates.
 	Merged *Stats
+	// Scale is the realized autoscaling plan (nil for fixed-replica
+	// runs).
+	Scale *autoscale.Plan
+}
+
+// assigner is the deterministic dispatch decision shared by the replay
+// passes and the autoscale planning pass: round-robin cycles the active
+// replicas in arrival order; least-loaded tracks each replica's
+// estimated work horizon (the time its already-assigned requests keep
+// it busy at batch-1 service) and picks the smallest backlog. The
+// horizon model is also the planning pass's load signal, so the plan
+// and the replay agree on every assignment.
+type assigner struct {
+	dispatch Dispatch
+	estCost  []float64 // per-replica batch-1 latency estimate; nil skips the horizon model
+	horizon  []float64
+	i        int
+}
+
+// assign picks the target among the first active replicas for an
+// arrival and advances the backlog model.
+func (a *assigner) assign(active int, arrivalMS float64) int {
+	var target int
+	switch a.dispatch {
+	case RoundRobin:
+		target = a.i % active
+	case LeastLoaded:
+		for j := 1; j < active; j++ {
+			if backlog(a.horizon[j], arrivalMS) < backlog(a.horizon[target], arrivalMS) {
+				target = j
+			}
+		}
+	}
+	a.i++
+	if a.estCost != nil {
+		start := arrivalMS
+		if a.horizon[target] > start {
+			start = a.horizon[target]
+		}
+		a.horizon[target] = start + a.estCost[target]
+	}
+	return target
 }
 
 // dispatchFilter replays the deterministic dispatch decision over a
@@ -77,12 +128,14 @@ type ClusterStats struct {
 // streaming equivalent of materializing per-replica sub-slices, at O(1)
 // memory per pass.
 type dispatchFilter struct {
-	src     *workload.Iter
-	replica int
-	opts    ClusterOptions
-	estCost []float64 // per-replica batch-1 latency estimate (least-loaded)
-	horizon []float64
-	i       int
+	src      *workload.Iter
+	replica  int
+	replicas int
+	asn      assigner
+	// scale, when non-nil, bounds the active replica set per arrival by
+	// the autoscaling plan; retired replicas simply stop receiving
+	// requests, and reactivated ones resume where they left off.
+	scale *autoscale.Cursor
 }
 
 func (f *dispatchFilter) Next() (workload.Request, bool) {
@@ -91,30 +144,11 @@ func (f *dispatchFilter) Next() (workload.Request, bool) {
 		if !ok {
 			return workload.Request{}, false
 		}
-		var target int
-		switch f.opts.Dispatch {
-		case RoundRobin:
-			target = f.i % f.opts.Replicas
-		case LeastLoaded:
-			// Track each replica's estimated work horizon: the time its
-			// already-assigned requests will keep it busy, assuming
-			// batch-1 service (a conservative, handler-agnostic
-			// estimate).
-			best := 0
-			for j := 1; j < f.opts.Replicas; j++ {
-				if backlog(f.horizon[j], r.ArrivalMS) < backlog(f.horizon[best], r.ArrivalMS) {
-					best = j
-				}
-			}
-			start := r.ArrivalMS
-			if f.horizon[best] > start {
-				start = f.horizon[best]
-			}
-			f.horizon[best] = start + f.estCost[best]
-			target = best
+		active := f.replicas
+		if f.scale != nil {
+			active = f.scale.At(r.ArrivalMS)
 		}
-		f.i++
-		if target == f.replica {
+		if f.asn.assign(active, r.ArrivalMS) == f.replica {
 			return r, true
 		}
 	}
@@ -125,25 +159,44 @@ func (f *dispatchFilter) Next() (workload.Request, bool) {
 // controller per replica, or shared-nothing vanilla handlers). Each
 // replica streams its slice of the trace through its own pass of the
 // dispatch decision, so the cluster simulator, like the single-replica
-// one, holds no per-request state.
+// one, holds no per-request state. With Autoscale set, a planning pass
+// first turns windowed load signals into a replica Plan, and every
+// replay pass consults the same plan — add/retire decisions are part of
+// the deterministic dispatch replay, not shared mutable state.
 func RunCluster(stream *workload.Stream, makeHandler func(i int) Handler, opts ClusterOptions) *ClusterStats {
-	if opts.Replicas <= 0 {
-		panic("serving: RunCluster needs at least one replica")
-	}
-	// Least-loaded needs per-replica service-time estimates for its
-	// backlog model. The estimate handlers are used only at dispatch
-	// time; fresh handlers serve the actual sub-streams below.
+	// Least-loaded and autoscaling need per-replica service-time
+	// estimates for the backlog model. The estimate handlers are used
+	// only at dispatch/planning time; fresh handlers serve the actual
+	// sub-streams below.
 	var estCost []float64
-	if opts.Dispatch == LeastLoaded {
-		estCost = make([]float64, opts.Replicas)
+	var plan *autoscale.Plan
+	replicas := opts.Replicas
+	if opts.Autoscale != nil {
+		cfg := *opts.Autoscale
+		if cfg.SLOms == 0 {
+			cfg.SLOms = opts.SLOms
+		}
+		estCost = make([]float64, cfg.Max)
 		for i := range estCost {
 			estCost[i] = makeHandler(i).BatchLatency(1)
 		}
+		plan = PlanScale(stream, estCost, cfg, opts.Dispatch)
+		replicas = plan.Peak()
+	} else {
+		if replicas <= 0 {
+			panic("serving: RunCluster needs at least one replica")
+		}
+		if opts.Dispatch == LeastLoaded {
+			estCost = make([]float64, replicas)
+			for i := range estCost {
+				estCost[i] = makeHandler(i).BatchLatency(1)
+			}
+		}
 	}
 
-	cs := &ClusterStats{PerReplica: make([]*Stats, opts.Replicas)}
+	cs := &ClusterStats{PerReplica: make([]*Stats, replicas), Scale: plan}
 	merged := &Stats{Lat: metrics.NewRecorder(opts.Metrics, 4096)}
-	for i := 0; i < opts.Replicas; i++ {
+	for i := 0; i < replicas; i++ {
 		ropts := opts.Options
 		if opts.ReplicaObserver != nil {
 			replica, inner := i, opts.Observer
@@ -155,11 +208,17 @@ func RunCluster(stream *workload.Stream, makeHandler func(i int) Handler, opts C
 			}
 		}
 		src := &dispatchFilter{
-			src:     stream.Iter(),
-			replica: i,
-			opts:    opts,
-			estCost: estCost,
-			horizon: make([]float64, opts.Replicas),
+			src:      stream.Iter(),
+			replica:  i,
+			replicas: replicas,
+			asn: assigner{
+				dispatch: opts.Dispatch,
+				estCost:  estCost,
+				horizon:  make([]float64, len(estCost)),
+			},
+		}
+		if plan != nil {
+			src.scale = plan.Cursor()
 		}
 		st := Run(src, makeHandler(i), ropts)
 		cs.PerReplica[i] = st

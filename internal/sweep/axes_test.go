@@ -1,0 +1,109 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestExpandLoadDynamicsAxes(t *testing.T) {
+	g := Grid{
+		Models:        []string{"resnet18"},
+		Workloads:     []string{"video-0"},
+		Platforms:     []string{"clockwork"},
+		RateSchedules: []string{"", "phases:10x1/10x4"},
+		Autoscales:    []string{"", "1..4"},
+		N:             100,
+	}
+	scs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 4 {
+		t.Fatalf("expanded %d scenarios, want 4 (2 schedules x 2 autoscales)", len(scs))
+	}
+	// The empty-axis scenario must have the identity (and so the seed)
+	// it had before the axes existed.
+	plain := core.Scenario{Model: "resnet18", Workload: "video-0",
+		Platform: "clockwork", N: 100}.Normalize()
+	found := false
+	for _, sc := range scs {
+		if sc.Identity() == plain.Identity() {
+			found = true
+			if sc.Seed != DeriveSeed(g.Seed, plain.Identity()) {
+				t.Fatal("plain scenario's derived seed changed")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("plain scenario missing from load-dynamics grid")
+	}
+}
+
+func TestLoadDynamicsAxisFilters(t *testing.T) {
+	g := Grid{
+		Models:        []string{"resnet18"},
+		Workloads:     []string{"video-0"},
+		Platforms:     []string{"clockwork"},
+		RateSchedules: []string{"", "phases:10x1/10x4", "sine:60/0.5/2"},
+		Autoscales:    []string{"", "1..4"},
+		N:             100,
+		// Glob patterns are path.Match globs: '*' stops at '/', so a
+		// two-phase spec needs a two-segment pattern.
+		Only: []string{"schedule=phases:*/*"},
+		Skip: []string{"autoscale=*"},
+	}
+	scs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 {
+		t.Fatalf("filters kept %d scenarios, want 1", len(scs))
+	}
+	sc := scs[0]
+	if sc.RateSchedule != "phases:10x1/10x4" || sc.Autoscale != "" {
+		t.Fatalf("filters kept the wrong scenario: %+v", sc)
+	}
+}
+
+func TestCSVCarriesLoadDynamicsColumns(t *testing.T) {
+	res := Result{Result: core.Result{
+		Scenario: core.Scenario{
+			Model: "resnet18", Workload: "video-0", N: 10,
+			RateSchedule: "phases:10x1/10x4", Autoscale: "1..4",
+		}.Normalize(),
+		ScaleUps: 3, ScaleDowns: 2, PeakReplicas: 4,
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 row", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	if len(header) != len(row) {
+		t.Fatalf("header has %d columns, row has %d", len(header), len(row))
+	}
+	col := func(name string) string {
+		for i, h := range header {
+			if h == name {
+				return row[i]
+			}
+		}
+		t.Fatalf("CSV header missing column %q", name)
+		return ""
+	}
+	if col("rate_schedule") != "phases:10x1/10x4" || col("autoscale") != "1..4" {
+		t.Fatalf("scenario axis columns wrong: schedule=%q autoscale=%q",
+			col("rate_schedule"), col("autoscale"))
+	}
+	if col("scale_ups") != "3" || col("scale_downs") != "2" || col("peak_replicas") != "4" {
+		t.Fatalf("autoscale activity columns wrong: %q/%q/%q",
+			col("scale_ups"), col("scale_downs"), col("peak_replicas"))
+	}
+}

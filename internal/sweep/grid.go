@@ -43,6 +43,13 @@ type Grid struct {
 	// Metrics lists recorder modes to sweep ("exact", "sketch"); empty
 	// means exact only.
 	Metrics []string
+	// RateSchedules lists arrival-rate schedule specs
+	// ("phases:10x1/10x4", "sine:60/0.5/2", "square:30/0.5/4"); the
+	// empty spec is the workload's native stationary process.
+	RateSchedules []string
+	// Autoscales lists replica-autoscaler specs ("1..4",
+	// "1..4/window=2000"); the empty spec keeps the fixed Replicas axis.
+	Autoscales []string
 
 	// N is the request count per classification scenario; GenN is the
 	// sequence count per generative scenario (generative decoding costs
@@ -100,6 +107,12 @@ func (g Grid) withDefaults() Grid {
 	if len(g.Metrics) == 0 {
 		g.Metrics = []string{""}
 	}
+	if len(g.RateSchedules) == 0 {
+		g.RateSchedules = []string{""}
+	}
+	if len(g.Autoscales) == 0 {
+		g.Autoscales = []string{""}
+	}
 	if g.N == 0 {
 		g.N = 4000
 	}
@@ -143,10 +156,19 @@ func axisTokens(sc core.Scenario) map[string]string {
 	if sc.ExitRule != "" {
 		t["rule"] = sc.ExitRule
 	}
+	if sc.RateSchedule != "" {
+		t["schedule"] = sc.RateSchedule
+	}
+	if sc.Autoscale != "" {
+		t["autoscale"] = sc.Autoscale
+	}
 	return t
 }
 
-// keep applies Only semantics: every constrained axis must match.
+// keep applies Only semantics: every constrained axis must match. A
+// scenario that lacks a conditional axis token entirely (rule,
+// schedule, autoscale) cannot match a constraint on that axis — "only
+// autoscale=*" means "only the autoscaled scenarios".
 func (f axisFilter) keep(tokens map[string]string) bool {
 	for axis, pats := range f {
 		matched := false
@@ -158,8 +180,10 @@ func (f axisFilter) keep(tokens map[string]string) bool {
 						break
 					}
 				}
-			} else if ok, _ := path.Match(pat, tokens[axis]); ok {
-				matched = true
+			} else if v, present := tokens[axis]; present {
+				if ok, _ := path.Match(pat, v); ok {
+					matched = true
+				}
 			}
 			if matched {
 				break
@@ -173,6 +197,9 @@ func (f axisFilter) keep(tokens map[string]string) bool {
 }
 
 // drops applies Skip semantics: any match excludes the scenario.
+// Scenarios lacking a conditional axis token are never dropped by a
+// pattern on that axis ("skip autoscale=*" keeps the fixed-replica
+// grid points).
 func (f axisFilter) drops(tokens map[string]string) bool {
 	for axis, pats := range f {
 		for _, pat := range pats {
@@ -182,8 +209,10 @@ func (f axisFilter) drops(tokens map[string]string) bool {
 						return true
 					}
 				}
-			} else if ok, _ := path.Match(pat, tokens[axis]); ok {
-				return true
+			} else if v, present := tokens[axis]; present {
+				if ok, _ := path.Match(pat, v); ok {
+					return true
+				}
 			}
 		}
 	}
@@ -252,28 +281,33 @@ func (g Grid) Expand() ([]core.Scenario, error) {
 								for _, accLoss := range g.AccLosses {
 									for _, rule := range g.ExitRules {
 										for _, mm := range g.Metrics {
-											sc := core.Scenario{
-												Model: mName, Workload: wl,
-												Platform: plat, Dispatch: disp, Replicas: rep,
-												N: n, RateMult: rate,
-												RampBudget: budget, AccLoss: accLoss,
-												ExitRule: rule, Metrics: mm,
-											}.Normalize()
-											id := sc.Identity()
-											if seen[id] {
-												continue
+											for _, sched := range g.RateSchedules {
+												for _, as := range g.Autoscales {
+													sc := core.Scenario{
+														Model: mName, Workload: wl,
+														Platform: plat, Dispatch: disp, Replicas: rep,
+														N: n, RateMult: rate,
+														RampBudget: budget, AccLoss: accLoss,
+														ExitRule: rule, Metrics: mm,
+														RateSchedule: sched, Autoscale: as,
+													}.Normalize()
+													id := sc.Identity()
+													if seen[id] {
+														continue
+													}
+													seen[id] = true
+													tokens := axisTokens(sc)
+													if !only.keep(tokens) || skip.drops(tokens) {
+														continue
+													}
+													if err := sc.Validate(); err != nil {
+														return nil, err
+													}
+													sc.Seed = DeriveSeed(g.Seed, id)
+													out = append(out, sc)
+													ids = append(ids, id)
+												}
 											}
-											seen[id] = true
-											tokens := axisTokens(sc)
-											if !only.keep(tokens) || skip.drops(tokens) {
-												continue
-											}
-											if err := sc.Validate(); err != nil {
-												return nil, err
-											}
-											sc.Seed = DeriveSeed(g.Seed, id)
-											out = append(out, sc)
-											ids = append(ids, id)
 										}
 									}
 								}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// The restartable-Arrivals contract: rebuilding a source from the same
+// construction parameters (and an identically seeded generator) must
+// replay the identical arrival sequence, timestamps must be
+// non-decreasing, and the empirical rate must converge to the nominal
+// rate. Cluster dispatch replay depends on the first property — every
+// replica re-derives the same trace from a fresh iterator — and the
+// autoscale planning pass depends on all three.
+
+// arrivalSource names one constructor under test.
+type arrivalSource struct {
+	name string
+	qps  float64 // nominal mean rate
+	tol  float64 // relative tolerance on the empirical rate
+	mk   func(r *rng.Rand) Arrivals
+}
+
+func sources() []arrivalSource {
+	sched := func(spec string) Schedule {
+		s, err := ParseSchedule(spec)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+	phases := sched("phases:10x1/10x4")
+	sine := sched("sine:40/0.5/2")
+	square := sched("square:30/0.5/3/0.25")
+	return []arrivalSource{
+		{"fixed-rate", 30, 0.01, func(r *rng.Rand) Arrivals { return NewFixedRate(30) }},
+		{"poisson", 80, 0.10, func(r *rng.Rand) Arrivals { return NewPoisson(80, r) }},
+		// The MAF rate modulation is heavy-tailed and autocorrelated, so
+		// its empirical mean converges slowly; the wide tolerance checks
+		// calibration, not burstiness.
+		{"maf", 60, 0.35, func(r *rng.Rand) Arrivals { return NewMAF(60, r) }},
+		{"scheduled-phases", 40 * phases.(*PhaseSchedule).MeanMult(), 0.10,
+			func(r *rng.Rand) Arrivals { return NewScheduled(40, phases, r) }},
+		{"scheduled-sine", 40 * sine.(*SineSchedule).MeanMult(), 0.10,
+			func(r *rng.Rand) Arrivals { return NewScheduled(40, sine, r) }},
+		{"scheduled-square", 40 * square.(*SquareSchedule).MeanMult(), 0.10,
+			func(r *rng.Rand) Arrivals { return NewScheduled(40, square, r) }},
+	}
+}
+
+func TestArrivalsRestartIdentical(t *testing.T) {
+	const n = 20000
+	for _, src := range sources() {
+		for _, seed := range []uint64{1, 7, 12345} {
+			a := collect(src.mk(rng.New(seed)), n)
+			b := collect(src.mk(rng.New(seed)), n)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s seed %d: restart diverged at arrival %d: %v vs %v",
+						src.name, seed, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestArrivalsNonDecreasing(t *testing.T) {
+	const n = 20000
+	for _, src := range sources() {
+		a := collect(src.mk(rng.New(42)), n)
+		for i := 1; i < n; i++ {
+			if a[i] < a[i-1] {
+				t.Fatalf("%s: arrivals not sorted at %d: %v after %v", src.name, i, a[i], a[i-1])
+			}
+		}
+		if a[0] < 0 {
+			t.Fatalf("%s: negative first arrival %v", src.name, a[0])
+		}
+	}
+}
+
+func TestArrivalsEmpiricalRate(t *testing.T) {
+	const n = 50000
+	for _, src := range sources() {
+		a := collect(src.mk(rng.New(9)), n)
+		span := a[n-1] - a[0]
+		if span <= 0 {
+			t.Fatalf("%s: degenerate span %v", src.name, span)
+		}
+		got := float64(n-1) / span * 1000
+		if rel := math.Abs(got-src.qps) / src.qps; rel > src.tol {
+			t.Fatalf("%s: empirical rate %.2f qps vs nominal %.2f (rel err %.3f > %.3f)",
+				src.name, got, src.qps, rel, src.tol)
+		}
+	}
+}
+
+// TestScheduledTracksPhases checks that a scheduled source actually
+// modulates: the per-phase empirical rates of a 1×/4× phase schedule
+// differ by roughly the programmed ratio.
+func TestScheduledTracksPhases(t *testing.T) {
+	sched, err := ParseSchedule("phases:10x1/10x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = 50.0
+	src := NewScheduled(base, sched, rng.New(3))
+	loCount, hiCount := 0, 0
+	loSec, hiSec := 0.0, 0.0
+	// 40 full cycles of 20 s each.
+	limit := 40 * 20.0 * 1000
+	for {
+		ts := src.Next()
+		if ts >= limit {
+			break
+		}
+		phase := math.Mod(ts/1000, 20)
+		if phase < 10 {
+			loCount++
+		} else {
+			hiCount++
+		}
+	}
+	loSec, hiSec = 40*10, 40*10
+	loRate, hiRate := float64(loCount)/loSec, float64(hiCount)/hiSec
+	if math.Abs(loRate-base)/base > 0.1 {
+		t.Fatalf("low phase rate %.1f, want ~%.1f", loRate, base)
+	}
+	if math.Abs(hiRate-4*base)/(4*base) > 0.1 {
+		t.Fatalf("high phase rate %.1f, want ~%.1f", hiRate, 4*base)
+	}
+}
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"phases:10x1/10x4",
+		"phases:5x0.5/20x2/5x1",
+		"sine:60/0.5/2",
+		"square:30/0.5/4/0.25",
+	} {
+		s, err := ParseSchedule(spec)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", spec, err)
+		}
+		s2, err := ParseSchedule(s.String())
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", s.String(), spec, err)
+		}
+		for _, tt := range []float64{0, 0.5, 7, 12, 29.9, 61, 1000.25} {
+			if s.Rate(tt) != s2.Rate(tt) {
+				t.Fatalf("%q: round-tripped schedule disagrees at t=%v", spec, tt)
+			}
+		}
+	}
+	for _, bad := range []string{
+		"phases:", "phases:10", "phases:0x1", "phases:10x-1", "phases:10x0",
+		"sine:60/2/0.5", "sine:0/1/2", "square:30/0.5", "square:30/0.5/4/1.5",
+		"diurnal:60/1/2", "nonsense",
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Fatalf("ParseSchedule(%q) unexpectedly succeeded", bad)
+		}
+	}
+	if s, err := ParseSchedule(""); s != nil || err != nil {
+		t.Fatalf("empty spec: got (%v, %v), want (nil, nil)", s, err)
+	}
+}

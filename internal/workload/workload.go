@@ -143,6 +143,20 @@ func clamp(v, lo, hi float64) float64 {
 // (id 0–7) differ in base difficulty (day vs. night urban scenes) and
 // regime volatility, mirroring the corpus of [12, 34].
 func Video(id, frames int, fps float64, seed uint64) *Stream {
+	return videoSched(id, frames, fps, seed, nil)
+}
+
+// videoScheduleSalt decorrelates a scheduled video's arrival rng from
+// its sample rng (which is seeded with seed^id*0x9e37 and must stay
+// byte-identical with and without a schedule).
+const videoScheduleSalt = 0xa5f152c9b1e44d7b
+
+// videoSched is Video with an optional arrival-rate schedule: a nil
+// schedule keeps the fixed frame rate; otherwise arrivals follow a
+// rate-scheduled Poisson process at fps × Rate(t) (a camera whose
+// ingest rate tracks activity). Sample generation is untouched, so the
+// restartable-iterator contract holds for both forms.
+func videoSched(id, frames int, fps float64, seed uint64, sched trace.Schedule) *Stream {
 	if id < 0 || id > 7 {
 		panic(fmt.Sprintf("workload: video id %d out of [0,7]", id))
 	}
@@ -161,7 +175,17 @@ func Video(id, frames int, fps float64, seed uint64) *Stream {
 		bias := 0.0
 		sceneStart := 0
 		d := mu
-		arrivals := trace.NewFixedRate(fps)
+		var arrivals trace.Arrivals
+		if sched != nil {
+			// The arrival stream is seeded from the video seed directly
+			// rather than split off r: the native path draws nothing for
+			// its fixed-rate arrivals, so drawing here would perturb the
+			// scene/difficulty trace and confound load studies that
+			// compare the same video with and without a schedule.
+			arrivals = trace.NewScheduled(fps, sched, rng.New(seed^uint64(id)*0x9e37^videoScheduleSalt))
+		} else {
+			arrivals = trace.NewFixedRate(fps)
+		}
 		nextSwitch := 1500 + r.Intn(2000)
 		return func(i int) Request {
 			if i == nextSwitch {
@@ -212,9 +236,17 @@ func Video(id, frames int, fps float64, seed uint64) *Stream {
 // the bootstrap prefix carry miscalibration bias — the structure behind
 // the paper's smaller NLP wins and frequent adaptation (§4.2).
 func Amazon(n int, meanQPS float64, seed uint64) *Stream {
+	return amazonSched(n, meanQPS, seed, nil)
+}
+
+// amazonSched is Amazon with an optional arrival-rate schedule
+// replacing the native MAF process. The rng split feeding the arrival
+// source is identical either way, so the difficulty stream is the same
+// trace under either arrival process.
+func amazonSched(n int, meanQPS float64, seed uint64, sched trace.Schedule) *Stream {
 	gen := func() func(i int) Request {
 		r := rng.New(seed)
-		arrivals := trace.NewMAF(meanQPS, r.Split())
+		arrivals := scheduledOrNative(meanQPS, sched, r.Split())
 		catMu := 0.0
 		catBias := 0.0
 		userOffset := 0.0
@@ -258,9 +290,15 @@ func Amazon(n int, meanQPS float64, seed uint64) *Stream {
 // sentence: sentences within one review share the review's difficulty
 // level (mild continuity), while consecutive reviews are unrelated.
 func IMDB(n int, meanQPS float64, seed uint64) *Stream {
+	return imdbSched(n, meanQPS, seed, nil)
+}
+
+// imdbSched is IMDB with an optional arrival-rate schedule replacing
+// the native MAF process.
+func imdbSched(n int, meanQPS float64, seed uint64, sched trace.Schedule) *Stream {
 	gen := func() func(i int) Request {
 		r := rng.New(seed)
-		arrivals := trace.NewMAF(meanQPS, r.Split())
+		arrivals := scheduledOrNative(meanQPS, sched, r.Split())
 		reviewMu := 0.0
 		reviewBias := 0.0
 		sentLeft := 0
@@ -320,18 +358,38 @@ func IsVideo(name string) bool {
 	return err == nil && id >= 0 && id <= 7
 }
 
+// scheduledOrNative picks the arrival source for an NLP workload: the
+// native bursty MAF process, or a rate-scheduled Poisson process when a
+// schedule is set. Both consume the same dedicated rng split, so the
+// choice never perturbs the difficulty stream drawn from the parent.
+func scheduledOrNative(meanQPS float64, sched trace.Schedule, r *rng.Rand) trace.Arrivals {
+	if sched != nil {
+		return trace.NewScheduled(meanQPS, sched, r)
+	}
+	return trace.NewMAF(meanQPS, r)
+}
+
 // ByName builds a named classification workload ("video-0".."video-7",
 // "amazon", "imdb") with n requests at the given rate.
 func ByName(name string, n int, qps float64, seed uint64) (*Stream, error) {
+	return ByNameSched(name, n, qps, seed, nil)
+}
+
+// ByNameSched builds a named classification workload whose arrival rate
+// follows the schedule — multipliers over the workload's native rate —
+// instead of the native stationary process. A nil schedule is exactly
+// ByName. Scheduled streams satisfy the same restartable-iterator
+// contract: every Iter() replays the identical arrivals and samples.
+func ByNameSched(name string, n int, qps float64, seed uint64, sched trace.Schedule) (*Stream, error) {
 	switch name {
 	case "amazon":
-		return Amazon(n, qps, seed), nil
+		return amazonSched(n, qps, seed, sched), nil
 	case "imdb":
-		return IMDB(n, qps, seed), nil
+		return imdbSched(n, qps, seed, sched), nil
 	}
 	var id int
 	if _, err := fmt.Sscanf(name, "video-%d", &id); err == nil && id >= 0 && id <= 7 {
-		return Video(id, n, qps, seed), nil
+		return videoSched(id, n, qps, seed, sched), nil
 	}
 	return nil, fmt.Errorf("workload: unknown workload %q", name)
 }

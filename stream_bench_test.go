@@ -15,10 +15,14 @@ import (
 // pipeline materialized the trace and every per-request result twice
 // (vanilla + Apparate) — several hundred MB live for 1M requests; the
 // streaming pipeline holds the queue, the handlers, and two fixed-size
-// sketches regardless of trace length.
+// sketches regardless of trace length. The time-varying rate schedule
+// extends the bound to scheduled arrivals: the scheduled source buffers
+// one second of arrivals at a time, so load dynamics add O(peak
+// per-second rate), not O(n).
 var millionScenario = core.Scenario{
 	Model: "resnet18", Workload: "video-0",
 	N: 1_000_000, Seed: 1, Metrics: "sketch",
+	RateSchedule: "square:60/0.5/2.5",
 }
 
 // BenchmarkStreamingMillion runs the 1M-request scenario end to end.

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench sweep-smoke mem-smoke golden ci
+.PHONY: build test vet race bench bench-cluster sweep-smoke mem-smoke golden ci
 
 build:
 	$(GO) build ./...
@@ -12,12 +12,42 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector pass over the concurrent sweep engine (and the layers
-# it drives, including the autoscaled cluster path).
+# it drives: the event engine, the cluster runtime, and the autoscaled
+# path).
 race:
-	$(GO) test -race ./internal/sweep/... ./internal/serving/... ./internal/autoscale/... ./internal/core/...
+	$(GO) test -race ./internal/sweep/... ./internal/serving/... ./internal/autoscale/... ./internal/core/... ./internal/engine/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Cluster-scaling benchmark (replicas 1/4/16 at constant per-replica
+# load, 100k requests) emitted as BENCH_cluster.json. The historical
+# pre-engine per-replica-replay numbers are inlined below so
+# regenerating the file preserves the before/after trajectory.
+define BENCH_CLUSTER_BEFORE
+  "before_engine_refactor": {
+    "commit": "a4687a6 (per-replica dispatch replay: O(replicas x trace) work)",
+    "machine": "Intel Xeon @ 2.10GHz, go1.24, linux/amd64",
+    "results": [
+      {"case": "dispatch=round-robin/replicas=1", "iters": 5, "ns_per_op": 21682353, "bytes_per_op": 9770488, "allocs_per_op": 99985},
+      {"case": "dispatch=round-robin/replicas=4", "iters": 5, "ns_per_op": 43114198, "bytes_per_op": 10566364, "allocs_per_op": 99901},
+      {"case": "dispatch=round-robin/replicas=16", "iters": 5, "ns_per_op": 121495048, "bytes_per_op": 11595276, "allocs_per_op": 99502},
+      {"case": "dispatch=least-loaded/replicas=1", "iters": 5, "ns_per_op": 22133416, "bytes_per_op": 9770512, "allocs_per_op": 99988},
+      {"case": "dispatch=least-loaded/replicas=4", "iters": 5, "ns_per_op": 45133739, "bytes_per_op": 9879712, "allocs_per_op": 100039},
+      {"case": "dispatch=least-loaded/replicas=16", "iters": 5, "ns_per_op": 197858673, "bytes_per_op": 11004793, "allocs_per_op": 100114}
+    ]
+  },
+endef
+export BENCH_CLUSTER_BEFORE
+
+bench-cluster:
+	$(GO) test -run '^$$' -bench BenchmarkClusterScaling -benchtime 5x . | tee /tmp/bench_cluster.txt
+	@printf '{\n  "description": "BenchmarkClusterScaling: serving.RunCluster over 100k requests at constant per-replica load (aggregate rate scales with replicas). Regenerate with make bench-cluster; before_engine_refactor preserves the pre-engine per-replica-replay numbers.",\n' > BENCH_cluster.json
+	@echo "$$BENCH_CLUSTER_BEFORE" >> BENCH_cluster.json
+	@awk 'BEGIN { printf("  \"results\": [\n") } \
+	  /^BenchmarkClusterScaling\// { sub(/^BenchmarkClusterScaling\//, "", $$1); sub(/-[0-9]+$$/, "", $$1); printf("%s    {\"case\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, $$1, $$2, $$3, $$5, $$7); sep=",\n" } \
+	  END { printf("\n  ]\n}\n") }' /tmp/bench_cluster.txt >> BENCH_cluster.json
+	@echo "bench-cluster: wrote BENCH_cluster.json"
 
 # A 24+-scenario mixed grid at -workers 8, then the determinism gate:
 # the same grid at -workers 1 must emit byte-identical JSON.

@@ -29,7 +29,7 @@ func main() {
 		wlName    = flag.String("workload", "video-0", "workload: video-0..7, amazon, imdb, cnn-dailymail, squad")
 		n         = flag.Int("n", 12000, "number of requests (sequences for generative)")
 		platform  = flag.String("platform", "clockwork", "serving platform: clockwork | tf-serve")
-		dispatch  = flag.String("dispatch", "round-robin", "cluster dispatch policy: round-robin | least-loaded")
+		dispatch  = flag.String("dispatch", "round-robin", "cluster dispatch policy: round-robin | least-loaded | join-shortest-queue")
 		replicas  = flag.Int("replicas", 1, "replica count (replicas > 1 runs the cluster simulator)")
 		rate      = flag.Float64("rate", 1, "arrival-rate multiplier over the workload's native rate (video: 30fps × rate)")
 		budget    = flag.Float64("ramp-budget", 0.02, "ramp budget (fraction of worst-case latency)")
@@ -40,6 +40,7 @@ func main() {
 		metricsMd = flag.String("metrics", "exact", "latency recorder: exact | sketch (sketch = O(1) memory for huge -n)")
 		schedule  = flag.String("rate-schedule", "", "time-varying arrival schedule, e.g. phases:10x1/10x4 | sine:60/0.5/2 | square:30/0.5/4 (empty = native arrivals)")
 		autoscl   = flag.String("autoscale", "", "replica autoscaler spec, e.g. 1..4 or 1..4/window=2000/cool=6000 (empty = fixed -replicas)")
+		hetero    = flag.String("hetero", "", "replica speed factors cycled over replica indexes, e.g. 1,0.5 (empty = homogeneous cluster)")
 		seed      = flag.Uint64("seed", 1, "workload seed")
 	)
 	flag.Parse()
@@ -61,6 +62,7 @@ func main() {
 		Metrics:      *metricsMd,
 		RateSchedule: *schedule,
 		Autoscale:    *autoscl,
+		Hetero:       *hetero,
 	}
 	res, err := core.RunScenario(sc)
 	if err != nil {
@@ -75,8 +77,12 @@ func printResult(res *core.Result) {
 	if res.Generative {
 		fmt.Printf("model=%s workload=%s sequences=%d\n", sc.Model, sc.Workload, res.Requests)
 	} else {
-		fmt.Printf("model=%s workload=%s n=%d platform=%s dispatch=%s replicas=%d slo=%.1fms\n",
-			sc.Model, sc.Workload, res.Requests, sc.Platform, sc.Dispatch, sc.Replicas, res.SLOms)
+		hetero := ""
+		if sc.Hetero != "" {
+			hetero = " hetero=" + sc.Hetero
+		}
+		fmt.Printf("model=%s workload=%s n=%d platform=%s dispatch=%s replicas=%d%s slo=%.1fms\n",
+			sc.Model, sc.Workload, res.Requests, sc.Platform, sc.Dispatch, sc.Replicas, hetero, res.SLOms)
 	}
 
 	label := ""

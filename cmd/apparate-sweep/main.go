@@ -32,11 +32,11 @@ import (
 	"repro/internal/sweep"
 )
 
-func splitList(s string) []string {
+func splitOn(s, sep string) []string {
 	if s == "" {
 		return nil
 	}
-	parts := strings.Split(s, ",")
+	parts := strings.Split(s, sep)
 	out := parts[:0]
 	for _, p := range parts {
 		if p = strings.TrimSpace(p); p != "" {
@@ -44,6 +44,23 @@ func splitList(s string) []string {
 		}
 	}
 	return out
+}
+
+func splitList(s string) []string { return splitOn(s, ",") }
+
+// splitSemiList splits on semicolons — for axes whose values themselves
+// contain commas, like hetero speed specs.
+func splitSemiList(s string) []string { return splitOn(s, ";") }
+
+// splitFilters splits -only/-skip pattern lists: on semicolons when one
+// is present (so patterns over comma-valued tokens like hetero=1,0.5
+// stay intact — append a trailing ';' to force it for a single
+// pattern), on commas otherwise.
+func splitFilters(s string) []string {
+	if strings.Contains(s, ";") {
+		return splitSemiList(s)
+	}
+	return splitList(s)
 }
 
 func splitInts(s, flagName string) []int {
@@ -80,7 +97,7 @@ func main() {
 		models     = flag.String("models", "", "comma-separated model names (default: entire zoo)")
 		workloads  = flag.String("workloads", "", "comma-separated workloads (default: all; video-0..7, amazon, imdb, cnn-dailymail, squad)")
 		platforms  = flag.String("platforms", "", "comma-separated platforms (default: clockwork,tf-serve)")
-		dispatches = flag.String("dispatch", "", "comma-separated dispatch policies (default: round-robin)")
+		dispatches = flag.String("dispatch", "", "comma-separated dispatch policies: round-robin | least-loaded | join-shortest-queue (default: round-robin)")
 		replicas   = flag.String("replicas", "", "comma-separated replica counts (default: 1)")
 		rates      = flag.String("rates", "", "comma-separated arrival-rate multipliers (default: 1)")
 		budgets    = flag.String("budgets", "", "comma-separated ramp budgets (default: 0.02)")
@@ -89,11 +106,12 @@ func main() {
 		metricsMd  = flag.String("metrics", "", "comma-separated recorder modes: exact | sketch (default: exact)")
 		schedules  = flag.String("rate-schedule", "", "comma-separated arrival-rate schedules, e.g. 'phases:10x1/10x4,sine:60/0.5/2' (default: native stationary arrivals)")
 		autoscales = flag.String("autoscale", "", "comma-separated replica-autoscaler specs, e.g. '1..4,1..4/window=2000' (default: fixed replicas)")
+		heteros    = flag.String("hetero", "", "semicolon-separated replica-speed specs, e.g. '1,0.5;1,1,0.25' (default: homogeneous clusters)")
 		n          = flag.Int("n", 4000, "requests per classification scenario")
 		genN       = flag.Int("gen-n", 40, "sequences per generative scenario")
 		seed       = flag.Uint64("seed", 1, "base seed; per-scenario seeds derive from it")
-		only       = flag.String("only", "", "comma-separated include globs over axis tokens (e.g. 'model=resnet*,workload=video-0')")
-		skip       = flag.String("skip", "", "comma-separated exclude globs over axis tokens")
+		only       = flag.String("only", "", "comma-separated include globs over axis tokens (e.g. 'model=resnet*,workload=video-0'); use ';' separators when a pattern contains commas (e.g. 'hetero=1,0.5;')")
+		skip       = flag.String("skip", "", "comma-separated exclude globs over axis tokens; ';' separators when a pattern contains commas")
 		workers    = flag.Int("workers", 0, "concurrent scenario executions (0 = GOMAXPROCS)")
 		out        = flag.String("out", "", "write results to this file (format from -format)")
 		format     = flag.String("format", "json", "output format for -out: json | csv")
@@ -117,11 +135,12 @@ func main() {
 		Metrics:       splitList(*metricsMd),
 		RateSchedules: splitList(*schedules),
 		Autoscales:    splitList(*autoscales),
+		Heteros:       splitSemiList(*heteros),
 		N:             *n,
 		GenN:          *genN,
 		Seed:          *seed,
-		Only:          splitList(*only),
-		Skip:          splitList(*skip),
+		Only:          splitFilters(*only),
+		Skip:          splitFilters(*skip),
 	}
 	// Reject bad output options before spending compute on the grid.
 	if _, err := sweep.Rank(nil, *rank); err != nil {

@@ -26,10 +26,15 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files under testda
 // a different architecture.
 func goldenGrid() sweep.Grid {
 	return sweep.Grid{
-		Models:        []string{"resnet18", "distilbert-base"},
-		Workloads:     []string{"video-0", "amazon"},
-		Platforms:     []string{"clockwork"},
-		Metrics:       []string{"exact", "sketch"},
+		Models:    []string{"resnet18", "distilbert-base"},
+		Workloads: []string{"video-0", "amazon"},
+		Platforms: []string{"clockwork"},
+		Metrics:   []string{"exact", "sketch"},
+		// The exact-queue-state dispatch policies are pinned through the
+		// autoscaled rows (dispatch collapses to round-robin at one fixed
+		// replica, so the non-autoscaled half of the grid dedups).
+		Dispatches:    []string{"round-robin", "least-loaded", "join-shortest-queue"},
+		Heteros:       []string{"", "1,0.5"},
 		RateSchedules: []string{"", "phases:20x1/20x3"},
 		Autoscales:    []string{"", "1..4"},
 		N:             800,

@@ -5,10 +5,13 @@
 // and a cooldown between actions. The scaler itself is pure policy — it
 // consumes Signals and emits replica counts — so it is deterministic,
 // trivially testable, and independent of the serving layer that feeds
-// it. Serving materializes the scaler's decisions into a Plan, the
-// (time, replicas) step function that the per-replica dispatch replay
-// passes consult, which is what keeps autoscaled cluster runs
-// byte-identical at any sweep worker count.
+// it. The cluster runtime consults the scaler online: window boundaries
+// are crossed on the event loop, each window's Signal is computed from
+// the live simulated queue state, and every decision takes effect for
+// the arrivals that follow. The realized decisions are recorded as a
+// Plan — the (time, replicas) step function reported on ClusterStats —
+// and because the whole event loop is deterministic, autoscaled cluster
+// runs stay byte-identical at any sweep worker count.
 package autoscale
 
 import (
@@ -255,9 +258,10 @@ type Step struct {
 }
 
 // Plan is a realized scaling timeline: the Start count from time zero,
-// then the committed steps in increasing time order. It is the bridge
-// between the scaler's decisions and the dispatch replay passes: O(#
-// scale events) memory, consulted monotonically via a Cursor.
+// then the committed steps in increasing time order. The cluster
+// runtime builds it online as decisions commit and reports it on
+// ClusterStats; it costs O(# scale events) memory and replays
+// monotonically via a Cursor.
 type Plan struct {
 	Start int    `json:"start"`
 	Steps []Step `json:"steps,omitempty"`
@@ -312,7 +316,8 @@ func (p *Plan) Downs() int {
 }
 
 // Cursor walks a plan under non-decreasing time queries in O(1)
-// amortized per query. Each dispatch replay pass holds its own cursor.
+// amortized per query — the tool for analyses that sweep a realized
+// plan against a timeline.
 type Cursor struct {
 	plan *Plan
 	i    int

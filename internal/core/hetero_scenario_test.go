@@ -1,0 +1,82 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScenarioNormalizeHetero(t *testing.T) {
+	// Single fixed replica: heterogeneity is meaningless and clears.
+	sc := Scenario{Model: "resnet50", Workload: "video-0", N: 100, Hetero: "1,0.5"}.Normalize()
+	if sc.Hetero != "" {
+		t.Fatalf("single-replica scenario kept hetero=%q", sc.Hetero)
+	}
+	// Cluster: kept and canonicalized.
+	sc = Scenario{Model: "resnet50", Workload: "video-0", N: 100,
+		Replicas: 3, Hetero: "1.0, 0.50"}.Normalize()
+	if sc.Hetero != "1,0.5" {
+		t.Fatalf("hetero spec not canonicalized: %q", sc.Hetero)
+	}
+	// Autoscale keeps it too (the cluster can grow past one replica).
+	sc = Scenario{Model: "resnet50", Workload: "video-0", N: 100,
+		Autoscale: "1..4", Hetero: "1,0.5"}.Normalize()
+	if sc.Hetero != "1,0.5" {
+		t.Fatalf("autoscaled scenario lost hetero: %q", sc.Hetero)
+	}
+	// Generative scenarios clear it like every cluster axis.
+	sc = Scenario{Model: "t5-large", Workload: "cnn-dailymail", N: 10,
+		Hetero: "1,0.5"}.Normalize()
+	if sc.Hetero != "" {
+		t.Fatalf("generative scenario kept hetero=%q", sc.Hetero)
+	}
+}
+
+func TestScenarioIdentityHeteroOmittedWhenUnset(t *testing.T) {
+	base := Scenario{Model: "resnet50", Workload: "video-0", N: 100, Replicas: 2}
+	if strings.Contains(base.Identity(), "hetero=") {
+		t.Fatalf("unset hetero leaked into identity %q", base.Identity())
+	}
+	het := base
+	het.Hetero = "1,0.5"
+	if het.Identity() == base.Identity() {
+		t.Fatal("hetero axis did not change the identity")
+	}
+	if !strings.Contains(het.Identity(), "hetero=1,0.5") {
+		t.Fatalf("hetero token missing from %q", het.Identity())
+	}
+}
+
+func TestScenarioValidateRejectsBadHetero(t *testing.T) {
+	base := Scenario{Model: "resnet50", Workload: "video-0", N: 100, Replicas: 2}
+	for _, bad := range []string{"0", "-1,2", "fast", "1,,2", "nan", "1,inf"} {
+		sc := base
+		sc.Hetero = bad
+		if err := sc.Validate(); err == nil {
+			t.Fatalf("hetero=%q validated", bad)
+		}
+	}
+	good := base
+	good.Hetero = "2,1,0.5"
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid hetero rejected: %v", err)
+	}
+}
+
+// TestRunScenarioHeterogeneousCluster runs the knob end to end: a
+// heterogeneous least-loaded cluster must serve every request and skew
+// load toward the fast replica.
+func TestRunScenarioHeterogeneousCluster(t *testing.T) {
+	res, err := RunScenario(Scenario{
+		Model: "bert-base", Workload: "amazon", N: 3000, Seed: 21,
+		Replicas: 2, Dispatch: "least-loaded", Hetero: "2,0.5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 3000 {
+		t.Fatalf("served %d requests, want 3000", res.Requests)
+	}
+	if res.Scenario.Hetero != "2,0.5" {
+		t.Fatalf("result lost the hetero axis: %+v", res.Scenario)
+	}
+}

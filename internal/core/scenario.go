@@ -65,6 +65,13 @@ type Scenario struct {
 	// adds and retires replicas mid-run on windowed backlog and
 	// p99-vs-SLO signals. Classification workloads only.
 	Autoscale string `json:"autoscale,omitempty"`
+	// Hetero makes the cluster heterogeneous: comma-separated positive
+	// speed factors cycled over replica indexes ("1,0.5" makes every
+	// odd replica half as fast). Dispatch policies see the scaled
+	// service times, so least-loaded shifts traffic toward the fast
+	// replicas. Cluster scenarios only (Replicas > 1 or Autoscale);
+	// single-replica scenarios clear it.
+	Hetero string `json:"hetero,omitempty"`
 }
 
 // Normalize fills defaults and canonicalizes axes that a scenario class
@@ -96,6 +103,7 @@ func (sc Scenario) Normalize() Scenario {
 		sc.Replicas = 1
 		sc.RateSchedule = ""
 		sc.Autoscale = ""
+		sc.Hetero = ""
 	} else {
 		sc.GenSlots, sc.GenFlush = 0, 0
 	}
@@ -107,7 +115,16 @@ func (sc Scenario) Normalize() Scenario {
 			sc.Replicas = cfg.Min
 		}
 	} else if sc.Replicas == 1 {
+		// Dispatch and heterogeneity are meaningless below two replicas.
 		sc.Dispatch = "round-robin"
+		sc.Hetero = ""
+	}
+	if sc.Hetero != "" {
+		// Canonicalize the spec ("1.0, 0.50" and "1,0.5" are the same
+		// cluster) so equivalent scenarios share an identity and a seed.
+		if speeds, err := serving.ParseSpeeds(sc.Hetero); err == nil {
+			sc.Hetero = serving.FormatSpeeds(speeds)
+		}
 	}
 	if sc.Metrics == "" {
 		sc.Metrics = "exact"
@@ -143,6 +160,9 @@ func (sc Scenario) Identity() string {
 	}
 	if sc.Autoscale != "" {
 		fmt.Fprintf(&b, " autoscale=%s", sc.Autoscale)
+	}
+	if sc.Hetero != "" {
+		fmt.Fprintf(&b, " hetero=%s", sc.Hetero)
 	}
 	// The exact default is omitted so pre-existing scenario identities
 	// (and the seeds derived from them) are unchanged.
@@ -263,6 +283,9 @@ func (sc Scenario) Validate() error {
 	if _, err := autoscale.Parse(sc.Autoscale); err != nil {
 		return err
 	}
+	if _, err := serving.ParseSpeeds(sc.Hetero); err != nil {
+		return err
+	}
 	sc = sc.Normalize()
 	m, err := model.ByName(sc.Model)
 	if err != nil {
@@ -362,6 +385,7 @@ func runClassScenario(sc Scenario) (*Result, error) {
 	}
 
 	dispatch, _ := serving.ParseDispatch(sc.Dispatch)
+	speeds, _ := serving.ParseSpeeds(sc.Hetero)
 	opts := serving.ClusterOptions{
 		Options: serving.Options{
 			Platform: cfg.Platform, SLOms: m.SLO(),
@@ -369,6 +393,7 @@ func runClassScenario(sc Scenario) (*Result, error) {
 		},
 		Replicas: sc.Replicas,
 		Dispatch: dispatch,
+		Speeds:   speeds,
 	}
 	maxReplicas := sc.Replicas
 	if sc.Autoscale != "" {
@@ -380,10 +405,10 @@ func runClassScenario(sc Scenario) (*Result, error) {
 	res.SLOms = opts.SLOms
 
 	// One Apparate controller per replica (§3): each replica adapts to
-	// the traffic slice it sees. makeHandler may be called more than
-	// once per index (LeastLoaded and autoscale planning use a
-	// dispatch-estimate pass), so we record the last handler built for
-	// each replica — that is the one that served the sub-stream.
+	// the traffic slice it sees. The event engine builds each replica's
+	// handler exactly once — autoscaled runs create handlers lazily as
+	// the cluster grows, so indexes past the realized peak never
+	// materialize.
 	handlers := make([]*serving.ApparateHandler, maxReplicas)
 	mkApparate := func(i int) serving.Handler {
 		mm, _ := model.ByName(sc.Model)
@@ -406,8 +431,9 @@ func runClassScenario(sc Scenario) (*Result, error) {
 	a := serving.RunCluster(stream, mkApparate, opts)
 	fillClass(res, v.Merged, a.Merged)
 	// Sum adaptation activity over the replicas that actually served
-	// traffic: with autoscaling, handlers past the plan's peak exist
-	// only as planning-time estimators.
+	// traffic. Replicas are created lazily as the autoscaler grows the
+	// cluster, so handlers past the realized peak were never built and
+	// are nil — only the first Scale.Peak() entries are real.
 	served := len(handlers)
 	if a.Scale != nil {
 		served = a.Scale.Peak()

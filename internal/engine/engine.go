@@ -1,0 +1,152 @@
+// Package engine is the shared discrete-event core of the simulators:
+// one virtual clock, one binary event heap, and a deterministic pop
+// order. The serving cluster runtime and the generative slot engine are
+// both built on it, so "one clock, one heap, all actors advanced
+// together in a single pass" holds for every simulation in the repo.
+//
+// Determinism is the load-bearing property. Events pop ordered by
+// (time, class, sequence): the class ranks simultaneous events of
+// different kinds (the serving cluster admits an arrival before the
+// replica wake that batches it; the generative engine admits an
+// arrival before the slot completion that frees capacity for it), and
+// the monotonically increasing sequence number makes same-time
+// same-class events FIFO in scheduling order. Because scheduling order is itself a deterministic function of
+// the simulation inputs, an engine run is a pure function of its
+// initial events — the root of the sweep's workers-1-vs-8
+// byte-identity guarantee.
+//
+// Memory is O(pending events), never O(trace): sources schedule one
+// arrival of lookahead at a time, so the heap stays a handful of
+// entries regardless of stream length (the mem-smoke bound).
+package engine
+
+import "fmt"
+
+// Class ranks simultaneous events: at equal timestamps, lower classes
+// fire first. Callers define their own ordering; the serving cluster
+// uses arrival < wake, genserve uses arrival < slot-free. Changing an
+// existing caller's class numbering shifts same-instant pop order and
+// with it every downstream byte-identity pin — add new classes after
+// the existing ones.
+type Class uint8
+
+// Event is one scheduled callback.
+type event struct {
+	at    float64
+	class Class
+	seq   uint64
+	fn    func(now float64)
+}
+
+// Loop is a single-threaded discrete-event loop: a virtual clock in
+// milliseconds and a deterministic min-heap of pending events. The zero
+// value is not ready; use New.
+type Loop struct {
+	now    float64
+	heap   []event
+	seq    uint64
+	inRun  bool
+	halted bool
+}
+
+// New returns an empty loop at time zero.
+func New() *Loop { return &Loop{} }
+
+// Now returns the current virtual time in milliseconds. Outside an
+// event callback it is the time of the last completed event.
+func (l *Loop) Now() float64 { return l.now }
+
+// Pending returns the number of scheduled events.
+func (l *Loop) Pending() int { return len(l.heap) }
+
+// Schedule enqueues fn to run at virtual time `at`. Scheduling in the
+// past panics: an actor that reacts to an event it should already have
+// seen is a simulation bug, not a recoverable condition. Events at the
+// current instant are legal and fire after the running callback
+// returns, in (class, scheduling-order) rank.
+func (l *Loop) Schedule(at float64, class Class, fn func(now float64)) {
+	if at < l.now {
+		panic(fmt.Sprintf("engine: scheduling at %g before now %g", at, l.now))
+	}
+	l.seq++
+	l.heap = append(l.heap, event{at: at, class: class, seq: l.seq, fn: fn})
+	l.up(len(l.heap) - 1)
+}
+
+// Process is a simulation actor: Start schedules its initial event(s).
+// It exists so composites (a cluster, a slot pool, a window tracker)
+// plug into one loop uniformly; actors interact afterwards by
+// scheduling further events from their callbacks.
+type Process interface {
+	Start(l *Loop)
+}
+
+// Add starts a process on the loop.
+func (l *Loop) Add(p Process) { p.Start(l) }
+
+// Run pops events in deterministic order until the heap is empty (or
+// Halt is called), advancing the clock to each event's timestamp.
+func (l *Loop) Run() {
+	if l.inRun {
+		panic("engine: Run called from inside an event callback")
+	}
+	l.inRun = true
+	defer func() { l.inRun = false }()
+	for len(l.heap) > 0 && !l.halted {
+		e := l.pop()
+		l.now = e.at
+		e.fn(l.now)
+	}
+	l.halted = false
+}
+
+// Halt stops Run after the current callback returns, leaving any
+// remaining events pending.
+func (l *Loop) Halt() { l.halted = true }
+
+// less orders the heap by (time, class, sequence).
+func (l *Loop) less(i, j int) bool {
+	a, b := l.heap[i], l.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.class != b.class {
+		return a.class < b.class
+	}
+	return a.seq < b.seq
+}
+
+func (l *Loop) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !l.less(i, parent) {
+			return
+		}
+		l.heap[i], l.heap[parent] = l.heap[parent], l.heap[i]
+		i = parent
+	}
+}
+
+func (l *Loop) pop() event {
+	top := l.heap[0]
+	n := len(l.heap) - 1
+	l.heap[0] = l.heap[n]
+	l.heap[n] = event{} // release the callback for GC
+	l.heap = l.heap[:n]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		if left >= n {
+			return top
+		}
+		child := left
+		if right < n && l.less(right, left) {
+			child = right
+		}
+		if !l.less(child, i) {
+			return top
+		}
+		l.heap[i], l.heap[child] = l.heap[child], l.heap[i]
+		i = child
+	}
+}

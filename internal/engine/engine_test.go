@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPopOrderDeterministic pins the heap contract: events pop by time,
+// then class, then scheduling order — regardless of insertion order.
+func TestPopOrderDeterministic(t *testing.T) {
+	l := New()
+	var got []string
+	rec := func(tag string) func(float64) {
+		return func(now float64) { got = append(got, fmt.Sprintf("%s@%g", tag, now)) }
+	}
+	// Insert deliberately out of order.
+	l.Schedule(5, 2, rec("wake"))
+	l.Schedule(5, 1, rec("arr-b"))
+	l.Schedule(2, 1, rec("early"))
+	l.Schedule(5, 0, rec("window"))
+	l.Schedule(5, 1, rec("arr-c")) // same time+class as arr-b: FIFO by schedule order
+	l.Run()
+	want := "early@2 window@5 arr-b@5 arr-c@5 wake@5"
+	if s := fmt.Sprint(got); s != "["+want+"]" {
+		t.Fatalf("pop order %v, want [%s]", got, want)
+	}
+}
+
+// TestSameInstantSchedulingRanksByClass checks that an event scheduled
+// from inside a callback at the current instant still ranks by class
+// against already-pending same-time events: a source that emits the
+// next arrival at an identical timestamp beats a pending replica wake.
+func TestSameInstantSchedulingRanksByClass(t *testing.T) {
+	l := New()
+	var got []string
+	l.Schedule(3, 2, func(float64) { got = append(got, "wake") })
+	l.Schedule(3, 1, func(float64) {
+		got = append(got, "arr-1")
+		// Scheduled later than the wake, but class 1 < 2 wins at time 3.
+		l.Schedule(3, 1, func(float64) { got = append(got, "arr-2") })
+	})
+	l.Run()
+	if fmt.Sprint(got) != "[arr-1 arr-2 wake]" {
+		t.Fatalf("same-instant scheduling order %v", got)
+	}
+}
+
+func TestClockAdvancesMonotonically(t *testing.T) {
+	l := New()
+	prev := -1.0
+	n := 0
+	var chain func(at float64)
+	chain = func(at float64) {
+		l.Schedule(at, 0, func(now float64) {
+			if now < prev {
+				t.Fatalf("clock went backward: %g after %g", now, prev)
+			}
+			prev = now
+			n++
+			if n < 50 {
+				chain(now + float64(n%3)) // includes zero-delay steps
+			}
+		})
+	}
+	chain(0)
+	l.Run()
+	if n != 50 {
+		t.Fatalf("ran %d events, want 50", n)
+	}
+	if l.Pending() != 0 {
+		t.Fatalf("%d events left pending", l.Pending())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	l := New()
+	l.Schedule(10, 0, func(now float64) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		l.Schedule(now-1, 0, func(float64) {})
+	})
+	l.Run()
+}
+
+func TestRunInsideCallbackPanics(t *testing.T) {
+	l := New()
+	l.Schedule(0, 0, func(float64) {
+		defer func() {
+			if recover() == nil {
+				t.Error("nested Run did not panic")
+			}
+		}()
+		l.Run()
+	})
+	l.Run()
+}
+
+func TestHaltStopsEarly(t *testing.T) {
+	l := New()
+	ran := 0
+	for i := 0; i < 5; i++ {
+		l.Schedule(float64(i), 0, func(now float64) {
+			ran++
+			if now == 2 {
+				l.Halt()
+			}
+		})
+	}
+	l.Run()
+	if ran != 3 {
+		t.Fatalf("halt at t=2 ran %d events, want 3", ran)
+	}
+	if l.Pending() != 2 {
+		t.Fatalf("%d events pending after halt, want 2", l.Pending())
+	}
+	// A fresh Run drains the remainder.
+	l.Run()
+	if ran != 5 || l.Pending() != 0 {
+		t.Fatalf("resume ran %d total with %d pending, want 5 and 0", ran, l.Pending())
+	}
+}
+
+type ticker struct {
+	period float64
+	left   int
+	fired  int
+}
+
+func (p *ticker) Start(l *Loop) { l.Schedule(0, 0, p.tick(l)) }
+
+func (p *ticker) tick(l *Loop) func(float64) {
+	return func(now float64) {
+		p.fired++
+		if p.left--; p.left > 0 {
+			l.Schedule(now+p.period, 0, p.tick(l))
+		}
+	}
+}
+
+func TestProcessInterleaving(t *testing.T) {
+	l := New()
+	a := &ticker{period: 2, left: 10}
+	b := &ticker{period: 3, left: 10}
+	l.Add(a)
+	l.Add(b)
+	l.Run()
+	if a.fired != 10 || b.fired != 10 {
+		t.Fatalf("tickers fired %d/%d, want 10/10", a.fired, b.fired)
+	}
+	if l.Now() != 27 { // slower ticker: 9 periods of 3ms
+		t.Fatalf("final clock %g, want 27", l.Now())
+	}
+}

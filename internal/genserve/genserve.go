@@ -6,16 +6,18 @@
 // the next non-exiting token (or a periodic flush), so time-per-token
 // (TPT) improves for exiting tokens at a mild penalty for the flusher.
 //
-// Like the classification simulator, the engine streams: sequences are
+// Like the classification simulator, the engine streams — sequences are
 // pulled from the workload iterator one at a time and every token's TPT
 // is folded into a metrics.Recorder, so a run's memory is bounded by one
-// sequence — independent of stream length.
+// sequence, independent of stream length — and it runs on the shared
+// discrete-event core (internal/engine): decode-slot completions are
+// events on the same kind of clock that drives the cluster simulator.
 package genserve
 
 import (
-	"container/heap"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/exitsim"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -187,78 +189,142 @@ func (e *Engine) decodeSequence(req workload.GenRequest, pol Policy) ([]TokenRes
 	return tokens, total
 }
 
-// slotHeap tracks per-slot free times.
-type slotHeap []float64
+// Event classes on the shared engine loop: sequence arrivals rank
+// before slot completions at the same instant, so a sequence arriving
+// exactly as a slot frees starts in it without waiting.
+const (
+	classArrival engine.Class = iota
+	classSlotFree
+)
 
-func (h slotHeap) Len() int            { return len(h) }
-func (h slotHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *slotHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
-func (h *slotHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+// genSim runs one generative simulation on the shared discrete-event
+// engine: the decode-slot pool is a set of completion events on the
+// engine clock (the old standalone slot-completion heap, migrated), and
+// sequences are admitted FIFO — one request of lookahead, so memory
+// stays bounded by the slot count regardless of stream length.
+type genSim struct {
+	e    *Engine
+	pol  Policy
+	loop *engine.Loop
+	it   *workload.GenIter
+
+	next workload.GenRequest
+	has  bool
+	free int // idle decode slots
+	// armAt is the earliest pending arrival event (+Inf when none): a
+	// slot-free callback must not re-arm an arrival that is already
+	// scheduled, or pending events would grow with the stream instead
+	// of staying bounded by the slot count.
+	armAt float64
+	// pumpFn caches the pump method value so arming an arrival does not
+	// allocate a closure per event.
+	pumpFn func(now float64)
+
+	stats        *Stats
+	sumRate      float64
+	sumScore     float64
+	firstArrival float64
+	lastDone     float64
 }
 
-// Run serves the generative stream with the policy.
+// Start schedules the first arrival; genSim is an engine.Process.
+func (g *genSim) Start(l *engine.Loop) {
+	if g.has {
+		g.armAt = g.next.ArrivalMS
+		l.Schedule(g.next.ArrivalMS, classArrival, g.pumpFn)
+	}
+}
+
+// pump admits the pending sequence whenever a slot is free and its
+// arrival has come, then lines up the next arrival event. Admissions are
+// strictly FIFO: the next request is not pulled until the current one
+// holds a slot, which both preserves arrival-order semantics and keeps
+// the lookahead at one request.
+func (g *genSim) pump(now float64) {
+	if now >= g.armAt {
+		g.armAt = math.Inf(1)
+	}
+	for g.has && g.next.ArrivalMS <= now && g.free > 0 {
+		req := g.next
+		if r, ok := g.it.Next(); ok {
+			g.next = r
+		} else {
+			g.next, g.has = workload.GenRequest{}, false
+		}
+		g.admit(req, now)
+	}
+	if g.has && g.next.ArrivalMS > now && g.next.ArrivalMS < g.armAt {
+		g.armAt = g.next.ArrivalMS
+		g.loop.Schedule(g.next.ArrivalMS, classArrival, g.pumpFn)
+	}
+}
+
+// admit starts one sequence in a free slot at time now and schedules the
+// slot's completion on the engine clock.
+func (g *genSim) admit(req workload.GenRequest, now float64) {
+	if g.stats.Seqs == 0 {
+		g.firstArrival = req.ArrivalMS
+	}
+	g.free--
+	tokens, decodeMS := g.e.decodeSequence(req, g.pol)
+	done := now + g.e.prefillMS(req.PromptLen) + decodeMS
+	g.loop.Schedule(done, classSlotFree, func(t float64) {
+		g.free++
+		g.pump(t)
+	})
+	match := 0
+	for _, tk := range tokens {
+		if tk.Match {
+			match++
+		}
+		g.stats.TPTRec.Add(tk.TPTms)
+	}
+	rate := 1.0
+	if len(tokens) > 0 {
+		rate = float64(match) / float64(len(tokens))
+	}
+	g.sumRate += rate
+	g.sumScore += ScoreFromMatchRate(rate)
+	g.stats.Seqs++
+	g.stats.TotalTokens += len(tokens)
+	if done > g.lastDone {
+		g.lastDone = done
+	}
+	if g.e.OnSeq != nil {
+		g.e.OnSeq(SeqResult{
+			Request: req, StartMS: now, DoneMS: done,
+			Tokens: tokens, MatchRate: rate,
+		})
+	}
+}
+
+// Run serves the generative stream with the policy on the shared
+// discrete-event engine. A sequence starts at max(its arrival, the
+// earliest slot-free time) — when no slot is idle at arrival, the
+// admission waits for the next completion event, which is exactly the
+// earliest-free-slot rule the standalone heap implemented.
 func (e *Engine) Run(stream *workload.GenStream, pol Policy) *Stats {
-	slots := make(slotHeap, e.MaxConcurrent)
-	heap.Init(&slots)
-	stats := &Stats{TPTRec: metrics.NewRecorder(e.Metrics, 4096)}
-	sumRate := 0.0
-	sumScore := 0.0
-	firstArrival := 0.0
-	lastDone := 0.0
-	it := stream.Iter()
-	for {
-		req, ok := it.Next()
-		if !ok {
-			break
-		}
-		if stats.Seqs == 0 {
-			firstArrival = req.ArrivalMS
-		}
-		free := heap.Pop(&slots).(float64)
-		start := req.ArrivalMS
-		if free > start {
-			start = free
-		}
-		tokens, decodeMS := e.decodeSequence(req, pol)
-		done := start + e.prefillMS(req.PromptLen) + decodeMS
-		heap.Push(&slots, done)
-		match := 0
-		for _, tk := range tokens {
-			if tk.Match {
-				match++
-			}
-			stats.TPTRec.Add(tk.TPTms)
-		}
-		rate := 1.0
-		if len(tokens) > 0 {
-			rate = float64(match) / float64(len(tokens))
-		}
-		sumRate += rate
-		sumScore += ScoreFromMatchRate(rate)
-		stats.Seqs++
-		stats.TotalTokens += len(tokens)
-		if done > lastDone {
-			lastDone = done
-		}
-		if e.OnSeq != nil {
-			e.OnSeq(SeqResult{
-				Request: req, StartMS: start, DoneMS: done,
-				Tokens: tokens, MatchRate: rate,
-			})
+	g := &genSim{
+		e:     e,
+		pol:   pol,
+		loop:  engine.New(),
+		it:    stream.Iter(),
+		free:  e.MaxConcurrent,
+		armAt: math.Inf(1),
+		stats: &Stats{TPTRec: metrics.NewRecorder(e.Metrics, 4096)},
+	}
+	g.pumpFn = g.pump
+	if r, ok := g.it.Next(); ok {
+		g.next, g.has = r, true
+	}
+	g.loop.Add(g)
+	g.loop.Run()
+	if g.stats.Seqs > 0 {
+		g.stats.MeanMatchRate = g.sumRate / float64(g.stats.Seqs)
+		g.stats.MeanScore = g.sumScore / float64(g.stats.Seqs)
+		if span := g.lastDone - g.firstArrival; span > 0 {
+			g.stats.TokensPerSec = float64(g.stats.TotalTokens) / span * 1000
 		}
 	}
-	if stats.Seqs > 0 {
-		stats.MeanMatchRate = sumRate / float64(stats.Seqs)
-		stats.MeanScore = sumScore / float64(stats.Seqs)
-		if span := lastDone - firstArrival; span > 0 {
-			stats.TokensPerSec = float64(stats.TotalTokens) / span * 1000
-		}
-	}
-	return stats
+	return g.stats
 }

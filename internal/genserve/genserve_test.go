@@ -1,9 +1,12 @@
 package genserve
 
 import (
+	"math"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/exitsim"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/workload"
 )
@@ -207,5 +210,52 @@ func TestSaturatedBatchFactor(t *testing.T) {
 	}
 	if e.stepMS() <= m.BaseLatencyMS {
 		t.Fatal("step latency ignores batching")
+	}
+}
+
+// TestRunBoundedPendingEvents pins the engine-migration memory claim: a
+// generative run's pending event count stays bounded by the slot pool
+// (slot completions + one armed arrival + the monitor below), never
+// growing with the stream. A light-load stream is the regression
+// trigger: when slots free before the next arrival, a buggy pump would
+// re-arm a duplicate arrival event per completion.
+func TestRunBoundedPendingEvents(t *testing.T) {
+	m := model.T5Large()
+	e := NewEngine(m, exitsim.ProfileFor(m, exitsim.KindCNNDailyMail))
+	// Wire a sim exactly like Run, plus a monitor process sampling the
+	// heap between events.
+	g := &genSim{
+		e:     e,
+		pol:   VanillaGen{},
+		loop:  engine.New(),
+		it:    workload.CNNDailyMail(400, 0.5, 9).Iter(),
+		free:  e.MaxConcurrent,
+		armAt: math.Inf(1),
+		stats: &Stats{TPTRec: metrics.NewRecorder(e.Metrics, 4096)},
+	}
+	g.pumpFn = g.pump
+	if r, ok := g.it.Next(); ok {
+		g.next, g.has = r, true
+	}
+	maxPending := 0
+	var monitor func(now float64)
+	monitor = func(now float64) {
+		if p := g.loop.Pending(); p > maxPending {
+			maxPending = p
+		}
+		if g.has || g.free < e.MaxConcurrent {
+			g.loop.Schedule(now+50, 2, monitor)
+		}
+	}
+	g.loop.Add(g)
+	g.loop.Schedule(0, 2, monitor)
+	g.loop.Run()
+	if g.stats.Seqs != 400 {
+		t.Fatalf("served %d sequences, want 400", g.stats.Seqs)
+	}
+	// Bound: MaxConcurrent slot completions + 1 armed arrival + the
+	// monitor's own event.
+	if limit := e.MaxConcurrent + 2; maxPending > limit {
+		t.Fatalf("pending events peaked at %d (> %d): arrival events are duplicating with the stream", maxPending, limit)
 	}
 }

@@ -23,12 +23,23 @@ func burstStream(m *model.Model, n int, seed uint64) *workload.Stream {
 	return s
 }
 
-func TestPlanScaleReactsToBursts(t *testing.T) {
+// elastic runs an autoscaled 1..4 vanilla cluster over the stream and
+// returns its stats (the realized plan rides on ClusterStats.Scale).
+func elastic(m *model.Model, s *workload.Stream, d Dispatch) *ClusterStats {
+	return RunCluster(s, func(int) Handler { return &VanillaHandler{Model: m} }, ClusterOptions{
+		Options:   Options{Platform: Clockwork, SLOms: m.SLO()},
+		Dispatch:  d,
+		Autoscale: &autoscale.Config{Min: 1, Max: 4},
+	})
+}
+
+func TestAutoscaleReactsToBursts(t *testing.T) {
 	m := model.BERTBase()
-	s := burstStream(m, 8000, 61)
-	cfg := autoscale.Config{Min: 1, Max: 4, SLOms: m.SLO()}
-	est := []float64{m.Latency(1), m.Latency(1), m.Latency(1), m.Latency(1)}
-	plan := PlanScale(s, est, cfg, RoundRobin)
+	cs := elastic(m, burstStream(m, 8000, 61), RoundRobin)
+	plan := cs.Scale
+	if plan == nil {
+		t.Fatal("autoscaled run returned no plan")
+	}
 	if plan.Start != 1 {
 		t.Fatalf("plan starts at %d replicas, want min=1", plan.Start)
 	}
@@ -39,18 +50,19 @@ func TestPlanScaleReactsToBursts(t *testing.T) {
 		t.Fatalf("phased load produced %d ups / %d downs; want both positive", plan.Ups(), plan.Downs())
 	}
 	for _, step := range plan.Steps {
-		if step.Replicas < cfg.Min || step.Replicas > cfg.Max {
-			t.Fatalf("plan step %+v outside [%d, %d]", step, cfg.Min, cfg.Max)
+		if step.Replicas < 1 || step.Replicas > 4 {
+			t.Fatalf("plan step %+v outside [1, 4]", step)
 		}
 	}
 }
 
-func TestPlanScaleDeterministic(t *testing.T) {
+// TestAutoscaleDeterministic pins that the online scaler — consulted on
+// the event loop, not via a planning pass — still realizes an identical
+// plan on identical inputs.
+func TestAutoscaleDeterministic(t *testing.T) {
 	m := model.BERTBase()
-	cfg := autoscale.Config{Min: 1, Max: 4, SLOms: m.SLO()}
-	est := []float64{m.Latency(1), m.Latency(1), m.Latency(1), m.Latency(1)}
-	a := PlanScale(burstStream(m, 6000, 62), est, cfg, LeastLoaded)
-	b := PlanScale(burstStream(m, 6000, 62), est, cfg, LeastLoaded)
+	a := elastic(m, burstStream(m, 6000, 62), LeastLoaded).Scale
+	b := elastic(m, burstStream(m, 6000, 62), LeastLoaded).Scale
 	if a.Start != b.Start || len(a.Steps) != len(b.Steps) {
 		t.Fatalf("plans differ: %+v vs %+v", a, b)
 	}
@@ -65,7 +77,7 @@ func TestAutoscaledClusterServesEveryRequestOnce(t *testing.T) {
 	m := model.BERTBase()
 	s := burstStream(m, 6000, 63)
 	opts := Options{Platform: Clockwork, SLOms: m.SLO()}
-	for _, d := range []Dispatch{RoundRobin, LeastLoaded} {
+	for _, d := range []Dispatch{RoundRobin, LeastLoaded, JoinShortestQueue} {
 		seen := map[int]bool{}
 		dup := -1
 		copts := ClusterOptions{
@@ -90,7 +102,7 @@ func TestAutoscaledClusterServesEveryRequestOnce(t *testing.T) {
 			t.Fatalf("%v: autoscaled run returned no plan", d)
 		}
 		if got := len(cluster.PerReplica); got != cluster.Scale.Peak() {
-			t.Fatalf("%v: %d replica passes, want plan peak %d", d, got, cluster.Scale.Peak())
+			t.Fatalf("%v: %d replicas created, want plan peak %d", d, got, cluster.Scale.Peak())
 		}
 	}
 }
@@ -120,14 +132,11 @@ func TestAutoscaleAbsorbsBurstsBetterThanMinCluster(t *testing.T) {
 }
 
 // TestAutoscaleScaleDownLag measures the retire side: after the last
-// burst, the plan must eventually return to the minimum width (the
-// scale-down-lag study's invariant).
+// burst, the realized plan must eventually return to the minimum width
+// (the scale-down-lag study's invariant).
 func TestAutoscaleScaleDownLag(t *testing.T) {
 	m := model.BERTBase()
-	s := burstStream(m, 8000, 65)
-	cfg := autoscale.Config{Min: 1, Max: 4, SLOms: m.SLO()}
-	est := []float64{m.Latency(1), m.Latency(1), m.Latency(1), m.Latency(1)}
-	plan := PlanScale(s, est, cfg, RoundRobin)
+	plan := elastic(m, burstStream(m, 8000, 65), RoundRobin).Scale
 	if plan.Downs() == 0 {
 		t.Fatal("plan never scales down after bursts")
 	}
@@ -137,8 +146,8 @@ func TestAutoscaleScaleDownLag(t *testing.T) {
 			min = step.Replicas
 		}
 	}
-	if min != cfg.Min {
-		t.Fatalf("plan never returned to min width: floor %d, want %d", min, cfg.Min)
+	if min != 1 {
+		t.Fatalf("plan never returned to min width: floor %d, want 1", min)
 	}
 }
 
@@ -153,5 +162,36 @@ func TestAutoscaleInheritsSLO(t *testing.T) {
 	})
 	if cs.Scale == nil || cs.Scale.Peak() < 2 {
 		t.Fatalf("inherited-SLO autoscaling never engaged: %+v", cs.Scale)
+	}
+}
+
+// TestAutoscaleRetiredReplicaDrains pins the retire semantics: a
+// replica dropped from the active set stops receiving arrivals but
+// finishes the work already queued on it — nothing is lost or
+// re-dispatched.
+func TestAutoscaleRetiredReplicaDrains(t *testing.T) {
+	m := model.BERTBase()
+	s := burstStream(m, 8000, 67)
+	perReplica := map[int]int{}
+	cs := RunCluster(s, func(int) Handler { return &VanillaHandler{Model: m} }, ClusterOptions{
+		Options:   Options{Platform: Clockwork, SLOms: m.SLO()},
+		Dispatch:  RoundRobin,
+		Autoscale: &autoscale.Config{Min: 1, Max: 4},
+		ReplicaObserver: func(replica int, r Result) {
+			perReplica[replica]++
+		},
+	})
+	if cs.Scale.Downs() == 0 {
+		t.Skip("no scale-down realized; nothing to check")
+	}
+	total := 0
+	for i, st := range cs.PerReplica {
+		if perReplica[i] != st.Total {
+			t.Fatalf("replica %d observed %d results but recorded %d", i, perReplica[i], st.Total)
+		}
+		total += st.Total
+	}
+	if total != 8000 {
+		t.Fatalf("replica totals sum to %d, want 8000", total)
 	}
 }

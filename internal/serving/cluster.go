@@ -2,23 +2,40 @@ package serving
 
 import (
 	"fmt"
+	"math"
+	"strconv"
+	"strings"
 
 	"repro/internal/autoscale"
+	"repro/internal/engine"
+	"repro/internal/exitsim"
 	"repro/internal/metrics"
+	"repro/internal/ramp"
 	"repro/internal/workload"
 )
 
 // Dispatch selects how a cluster front-end spreads requests over
-// replicas.
+// replicas. Every policy is exact: it reads the replicas' true
+// simulated state — queue depth and in-flight work — at the arrival
+// instant, not a backlog estimate. Ties always break to the lowest
+// replica index, so a burst of simultaneous arrivals against idle
+// replicas spreads deterministically as 0, 1, 2, ...
 type Dispatch int
 
 // Dispatch policies.
 const (
-	// RoundRobin cycles replicas in arrival order.
+	// RoundRobin cycles the active replicas in arrival order.
 	RoundRobin Dispatch = iota
 	// LeastLoaded sends each arrival to the replica with the least
-	// outstanding estimated work (join-shortest-queue).
+	// outstanding estimated work in milliseconds: the remaining
+	// execution time of its in-flight batch plus batch-1 service for
+	// every queued request. Ties break to the lowest replica index.
 	LeastLoaded
+	// JoinShortestQueue sends each arrival to the replica with the
+	// fewest requests in its system (queued + in-flight) — true JSQ,
+	// which only an exact-queue-state simulator can express. Ties break
+	// to the lowest replica index.
+	JoinShortestQueue
 )
 
 // String returns the policy name.
@@ -28,13 +45,17 @@ func (d Dispatch) String() string {
 		return "round-robin"
 	case LeastLoaded:
 		return "least-loaded"
+	case JoinShortestQueue:
+		return "join-shortest-queue"
 	}
 	return fmt.Sprintf("Dispatch(%d)", int(d))
 }
 
 // Dispatches lists the supported dispatch policy names in canonical
 // order.
-func Dispatches() []string { return []string{"round-robin", "least-loaded"} }
+func Dispatches() []string {
+	return []string{"round-robin", "least-loaded", "join-shortest-queue"}
+}
 
 // ParseDispatch maps a policy name to its Dispatch value.
 func ParseDispatch(name string) (Dispatch, error) {
@@ -43,8 +64,44 @@ func ParseDispatch(name string) (Dispatch, error) {
 		return RoundRobin, nil
 	case "least-loaded":
 		return LeastLoaded, nil
+	case "join-shortest-queue":
+		return JoinShortestQueue, nil
 	}
-	return 0, fmt.Errorf("serving: unknown dispatch policy %q (want round-robin | least-loaded)", name)
+	return 0, fmt.Errorf("serving: unknown dispatch policy %q (want round-robin | least-loaded | join-shortest-queue)", name)
+}
+
+// ParseSpeeds parses a replica-heterogeneity spec: comma-separated
+// positive speed factors cycled over replica indexes ("1,0.5" makes
+// every odd replica half as fast). The empty spec returns nil — a
+// homogeneous cluster.
+func ParseSpeeds(spec string) ([]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("serving: hetero speed %q: %v", p, err)
+		}
+		// !(v > 0) also rejects NaN, which compares false to everything.
+		if !(v > 0) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("serving: hetero speed %g must be positive and finite", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// FormatSpeeds renders a speed set in the canonical spec form ParseSpeeds
+// accepts.
+func FormatSpeeds(speeds []float64) string {
+	parts := make([]string, len(speeds))
+	for i, v := range speeds {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
 }
 
 // ClusterOptions configures a multi-replica run. The paper's platforms
@@ -56,13 +113,19 @@ type ClusterOptions struct {
 	Options
 	Replicas int
 	Dispatch Dispatch
+	// Speeds, when non-empty, makes the cluster heterogeneous:
+	// Speeds[i % len(Speeds)] is replica i's service-speed factor (2.0
+	// executes batches twice as fast as the handler's nominal profile).
+	// Dispatch policies and autoscale signals see the scaled service
+	// times, so least-loaded naturally prefers the faster replicas.
+	Speeds []float64
 	// Autoscale, when non-nil, replaces the fixed Replicas count with a
-	// reactive replica autoscaler: a planning pass over the stream
-	// drives the scaler with windowed backlog/latency signals, and the
-	// resulting Plan decides how many replicas are active at every
-	// arrival. Replicas is ignored; the run starts at Autoscale.Min and
-	// never exceeds Autoscale.Max. A zero Autoscale.SLOms inherits
-	// Options.SLOms.
+	// reactive replica autoscaler consulted online on the event loop:
+	// windowed backlog/latency signals computed from the live cluster
+	// state drive the scaler, and its decisions take effect for every
+	// later arrival. Replicas is ignored; the run starts at
+	// Autoscale.Min and never exceeds Autoscale.Max. A zero
+	// Autoscale.SLOms inherits Options.SLOms.
 	Autoscale *autoscale.Config
 	// ReplicaObserver, when non-nil, receives every per-request Result
 	// tagged with the replica that served it (Options.Observer fires
@@ -81,156 +144,452 @@ type ClusterStats struct {
 	Scale *autoscale.Plan
 }
 
-// assigner is the deterministic dispatch decision shared by the replay
-// passes and the autoscale planning pass: round-robin cycles the active
-// replicas in arrival order; least-loaded tracks each replica's
-// estimated work horizon (the time its already-assigned requests keep
-// it busy at batch-1 service) and picks the smallest backlog. The
-// horizon model is also the planning pass's load signal, so the plan
-// and the replay agree on every assignment.
-type assigner struct {
-	dispatch Dispatch
-	estCost  []float64 // per-replica batch-1 latency estimate; nil skips the horizon model
-	horizon  []float64
-	i        int
+// Event classes on the shared engine loop. Arrivals rank before replica
+// wakes at the same instant, so every request that has arrived by time
+// t is enqueued before any replica forms a batch at t — the event-heap
+// form of the single-replica simulator's "admit everything that has
+// arrived by now" loop.
+const (
+	classArrival engine.Class = iota
+	classWake
+)
+
+// scaledHandler wraps a Handler with a service-speed factor — the
+// heterogeneity hook. BatchLatency and the outcome's release offset
+// both scale, so scheduling decisions and response latencies agree.
+type scaledHandler struct {
+	Handler
+	speed float64
 }
 
-// assign picks the target among the first active replicas for an
-// arrival and advances the backlog model.
-func (a *assigner) assign(active int, arrivalMS float64) int {
-	var target int
-	switch a.dispatch {
+func (h *scaledHandler) BatchLatency(b int) float64 {
+	return h.Handler.BatchLatency(b) / h.speed
+}
+
+func (h *scaledHandler) Serve(s exitsim.Sample, b int) ramp.Outcome {
+	out := h.Handler.Serve(s, b)
+	out.ServeMS /= h.speed
+	return out
+}
+
+// replicaSim is one replica on the shared event loop: its own handler,
+// queue, GPU-busy horizon, and Stats. Batching policy decisions re-run
+// the exact logic of the single-replica simulator (clockworkPick /
+// tfservePick plus clockwork's catch-up hold), restructured as an
+// event-driven state machine: enqueue on arrival, wake at batch
+// completion / hold expiry / batch-timeout, re-evaluate the policy at
+// each wake.
+type replicaSim struct {
+	c   *clusterSim
+	idx int
+	h   Handler
+	// estCost is the replica's batch-1 service-time estimate, captured
+	// at creation; dispatch backlog estimates and autoscale signals use
+	// it.
+	estCost float64
+	st      *Stats
+	opts    Options
+
+	queue     []workload.Request
+	busyUntil float64
+	inflight  int
+	// wakeAt is the earliest pending wake (+Inf when none); used to
+	// dedup wake events so a hold or timeout wait schedules one event,
+	// not one per evaluation.
+	wakeAt float64
+	// wakeFn caches the onWake method value so scheduling a wake does
+	// not allocate a closure per event.
+	wakeFn func(now float64)
+}
+
+// enqueue admits one dispatched arrival at time now.
+func (r *replicaSim) enqueue(req workload.Request, now float64) {
+	r.st.noteArrival(req)
+	if r.opts.Platform == TFServe && len(r.queue) >= r.opts.QueueCap {
+		r.st.record(Result{
+			ID: req.ID, ArrivalMS: req.ArrivalMS,
+			Dropped: true, SLOMiss: true, ExitIndex: -1,
+		}, r.opts.Observer)
+		return
+	}
+	r.queue = append(r.queue, req)
+	if r.busyUntil < now {
+		// Idle (no completion wake pending): evaluate at this instant.
+		// busyUntil == now means the completion wake at now is still
+		// pending and will evaluate after all of now's arrivals.
+		r.scheduleWake(now)
+	}
+}
+
+// scheduleWake requests a policy evaluation at time at, deduplicating
+// against an earlier-or-equal pending wake (whose evaluation will
+// reschedule whatever is still needed).
+func (r *replicaSim) scheduleWake(at float64) {
+	if r.wakeAt <= at {
+		return
+	}
+	r.wakeAt = at
+	r.c.loop.Schedule(at, classWake, r.wakeFn)
+}
+
+// onWake re-evaluates the batching policy at time now. Wakes are
+// idempotent: a stale wake observing a busy GPU (a batch formed since
+// it was scheduled) is ignored, and re-evaluating an unchanged state
+// reaches the same decision.
+func (r *replicaSim) onWake(now float64) {
+	if now >= r.wakeAt {
+		r.wakeAt = math.Inf(1)
+	}
+	if r.busyUntil > now {
+		return // serving; the completion wake re-evaluates
+	}
+	r.inflight = 0
+	if len(r.queue) == 0 {
+		return
+	}
+	switch r.opts.Platform {
+	case Clockwork:
+		batch, rest := clockworkPick(r.queue, r.st, now, r.h, r.opts)
+		r.queue = rest
+		if batch == nil {
+			return // everything queued was hopeless and dropped
+		}
+		// Catch-up batching: when the backlog is real (the oldest
+		// request has burned a quarter of its SLO) and the batch took
+		// the whole queue, briefly holding the GPU for an imminent
+		// arrival forms a larger batch whose amortization drains the
+		// backlog (§2.1). The hold is admitted only while serving the
+		// grown batch would still meet the oldest request's SLO; the
+		// next arrival re-triggers this evaluation, growing the batch
+		// one admission at a time exactly like the single-replica
+		// simulator's catch-up loop.
+		if len(rest) == 0 && len(batch) < r.opts.MaxBatch {
+			oldestWait := now - batch[0].ArrivalMS
+			if oldestWait > 0.25*r.opts.SLOms {
+				if tNext, ok := r.c.nextArrival(); ok {
+					hold := tNext - now
+					if hold < 0 {
+						hold = 0
+					}
+					if oldestWait+hold+r.h.BatchLatency(len(batch)+1) <= r.opts.SLOms {
+						r.queue = batch // hold: put the batch back
+						r.scheduleWake(tNext)
+						return
+					}
+				}
+			}
+		}
+		r.serve(batch, now)
+	case TFServe:
+		tNext, more := r.c.nextArrival()
+		batch, rest, _ := tfservePick(r.queue, now, more, tNext, r.opts)
+		if batch == nil {
+			// Waiting: wake at the head's batch-timeout deadline or the
+			// next arrival, whichever comes first.
+			at := r.queue[0].ArrivalMS + r.opts.BatchTimeoutMS
+			if more && tNext < at {
+				at = tNext
+			}
+			if at < now {
+				at = now
+			}
+			r.scheduleWake(at)
+			return
+		}
+		r.queue = rest
+		r.serve(batch, now)
+	}
+}
+
+// serve executes one batch starting at now and schedules the completion
+// wake.
+func (r *replicaSim) serve(batch []workload.Request, now float64) {
+	b := len(batch)
+	dur := r.h.BatchLatency(b)
+	r.st.batches.Add(float64(b))
+	for _, req := range batch {
+		out := r.h.Serve(req.Sample, b)
+		lat := now + out.ServeMS - req.ArrivalMS
+		r.st.record(Result{
+			ID:        req.ID,
+			ArrivalMS: req.ArrivalMS,
+			LatencyMS: lat,
+			ServeMS:   out.ServeMS,
+			BatchSize: b,
+			ExitIndex: out.ExitIndex,
+			Correct:   out.Correct,
+			SLOMiss:   lat > r.opts.SLOms,
+		}, r.opts.Observer)
+	}
+	r.inflight = b
+	r.busyUntil = now + dur
+	r.scheduleWake(r.busyUntil)
+}
+
+// work is the replica's outstanding estimated work at time now in
+// milliseconds: the remaining execution of the in-flight batch plus the
+// estimated drain time of its queue under maximal batching — the
+// least-loaded signal. Using the batched drain time (not queue length ×
+// batch-1 cost) matters: batches amortize, so a replica with six queued
+// requests that form one batch is far less loaded than six serialized
+// requests would suggest.
+func (r *replicaSim) work(now float64) float64 {
+	w := r.busyUntil - now
+	if w < 0 {
+		w = 0
+	}
+	if n := len(r.queue); n > 0 {
+		full := n / r.opts.MaxBatch
+		if full > 0 {
+			w += float64(full) * r.h.BatchLatency(r.opts.MaxBatch)
+		}
+		if rest := n % r.opts.MaxBatch; rest > 0 {
+			w += r.h.BatchLatency(rest)
+		}
+	}
+	return w
+}
+
+// jobs is the number of requests in the replica's system at time now
+// (queued + in-flight) — the join-shortest-queue signal.
+func (r *replicaSim) jobs(now float64) int {
+	n := len(r.queue)
+	if r.busyUntil > now {
+		n += r.inflight
+	}
+	return n
+}
+
+// clusterSim is the single-pass cluster runtime: one engine loop, one
+// arrival source with a single request of lookahead, all replicas as
+// event-driven processes on the shared clock, and the autoscaler
+// consulted online at window boundaries.
+type clusterSim struct {
+	loop *engine.Loop
+	opts ClusterOptions
+	base Options // default-filled per-replica options (observer unset)
+
+	it   *workload.Iter
+	next workload.Request
+	has  bool
+	// arrivalFn caches the onArrival method value so the source does
+	// not allocate a closure per arrival.
+	arrivalFn func(now float64)
+
+	mk       func(i int) Handler
+	replicas []*replicaSim
+	active   int
+	rr       int // round-robin arrival counter
+
+	// Online autoscaling state (nil scaler for fixed-width runs).
+	scaler      *autoscale.Scaler
+	plan        *autoscale.Plan
+	winEnd      float64
+	winLat      *metrics.Sketch
+	peakBacklog float64
+	busy        float64
+}
+
+// Start schedules the first arrival; clusterSim is an engine.Process.
+func (c *clusterSim) Start(l *engine.Loop) {
+	if c.has {
+		l.Schedule(c.next.ArrivalMS, classArrival, c.arrivalFn)
+	}
+}
+
+// nextArrival exposes the source's one-request lookahead: the arrival
+// time of the next request not yet dispatched, if any. Replicas consult
+// it for clockwork's catch-up hold and TF-Serving's batch-timeout wait
+// — the same single request of future the single-replica simulator
+// peeks at.
+func (c *clusterSim) nextArrival() (float64, bool) {
+	return c.next.ArrivalMS, c.has
+}
+
+// onArrival dispatches one request: close any elapsed autoscale
+// windows (a scaling step at exactly winEnd applies to arrivals >=
+// winEnd), pick the target replica from true queue state, enqueue, fold
+// the arrival into the window signals, and schedule the next arrival.
+func (c *clusterSim) onArrival(now float64) {
+	req := c.next
+	if r, ok := c.it.Next(); ok {
+		c.next = r
+	} else {
+		c.next, c.has = workload.Request{}, false
+	}
+
+	if c.scaler != nil {
+		for req.ArrivalMS >= c.winEnd {
+			c.closeWindow()
+		}
+	}
+
+	target := c.dispatch(now)
+	rep := c.replicas[target]
+	if c.scaler != nil {
+		wait := rep.work(now)
+		c.winLat.Add(wait + rep.estCost)
+		if wait > c.peakBacklog {
+			c.peakBacklog = wait
+		}
+		c.busy += rep.estCost
+	}
+	rep.enqueue(req, now)
+
+	if c.has {
+		c.loop.Schedule(c.next.ArrivalMS, classArrival, c.arrivalFn)
+	}
+}
+
+// dispatch picks the target among the active replicas at time now.
+func (c *clusterSim) dispatch(now float64) int {
+	target := 0
+	switch c.opts.Dispatch {
 	case RoundRobin:
-		target = a.i % active
+		target = c.rr % c.active
 	case LeastLoaded:
-		for j := 1; j < active; j++ {
-			if backlog(a.horizon[j], arrivalMS) < backlog(a.horizon[target], arrivalMS) {
-				target = j
+		best := c.replicas[0].work(now)
+		for j := 1; j < c.active; j++ {
+			if w := c.replicas[j].work(now); w < best {
+				target, best = j, w
+			}
+		}
+	case JoinShortestQueue:
+		best := c.replicas[0].jobs(now)
+		for j := 1; j < c.active; j++ {
+			if n := c.replicas[j].jobs(now); n < best {
+				target, best = j, n
 			}
 		}
 	}
-	a.i++
-	if a.estCost != nil {
-		start := arrivalMS
-		if a.horizon[target] > start {
-			start = a.horizon[target]
-		}
-		a.horizon[target] = start + a.estCost[target]
-	}
+	c.rr++
 	return target
 }
 
-// dispatchFilter replays the deterministic dispatch decision over a
-// stream pass and yields only the requests assigned to one replica. The
-// per-request assignment depends solely on arrival order (round-robin)
-// or on the deterministic backlog estimate (least-loaded), so every
-// replica's pass over a fresh iterator reproduces the same split — the
-// streaming equivalent of materializing per-replica sub-slices, at O(1)
-// memory per pass.
-type dispatchFilter struct {
-	src      *workload.Iter
-	replica  int
-	replicas int
-	asn      assigner
-	// scale, when non-nil, bounds the active replica set per arrival by
-	// the autoscaling plan; retired replicas simply stop receiving
-	// requests, and reactivated ones resume where they left off.
-	scale *autoscale.Cursor
+// closeWindow summarizes the elapsed signal window, feeds the scaler,
+// and applies any replica-count change to subsequent dispatch.
+func (c *clusterSim) closeWindow() {
+	eff := c.scaler.Config()
+	sig := autoscale.Signal{
+		Requests:      c.winLat.Len(),
+		PeakBacklogMS: c.peakBacklog,
+		Utilization:   c.busy / (float64(c.scaler.Replicas()) * eff.WindowMS),
+	}
+	if sig.Requests > 0 {
+		sig.P99LatMS = c.winLat.Percentile(99)
+	}
+	if n, changed := c.scaler.Observe(c.winEnd, sig); changed {
+		c.plan.Steps = append(c.plan.Steps, autoscale.Step{AtMS: c.winEnd, Replicas: n})
+		c.setActive(n)
+	}
+	c.winLat = metrics.NewSketch()
+	c.peakBacklog, c.busy = 0, 0
+	c.winEnd += eff.WindowMS
 }
 
-func (f *dispatchFilter) Next() (workload.Request, bool) {
-	for {
-		r, ok := f.src.Next()
-		if !ok {
-			return workload.Request{}, false
-		}
-		active := f.replicas
-		if f.scale != nil {
-			active = f.scale.At(r.ArrivalMS)
-		}
-		if f.asn.assign(active, r.ArrivalMS) == f.replica {
-			return r, true
+// setActive resizes the dispatchable replica set. Newly activated
+// replicas get fresh handlers; retired replicas stop receiving arrivals
+// but keep draining their queues on the shared clock, and resume where
+// they left off if reactivated.
+func (c *clusterSim) setActive(n int) {
+	for i := len(c.replicas); i < n; i++ {
+		c.addReplica(i)
+	}
+	c.active = n
+}
+
+// addReplica creates replica i with its handler (speed-scaled when the
+// cluster is heterogeneous) and latency recorder.
+func (c *clusterSim) addReplica(i int) {
+	h := c.mk(i)
+	if len(c.opts.Speeds) > 0 {
+		h = &scaledHandler{Handler: h, speed: c.opts.Speeds[i%len(c.opts.Speeds)]}
+	}
+	ropts := c.base
+	if c.opts.ReplicaObserver != nil {
+		replica, inner := i, c.base.Observer
+		ropts.Observer = func(r Result) {
+			if inner != nil {
+				inner(r)
+			}
+			c.opts.ReplicaObserver(replica, r)
 		}
 	}
+	rep := &replicaSim{
+		c:       c,
+		idx:     i,
+		h:       h,
+		estCost: h.BatchLatency(1),
+		st:      &Stats{Lat: metrics.NewRecorder(c.base.Metrics, 4096)},
+		opts:    ropts,
+		// busyUntil == now means "completion wake pending at now", so a
+		// fresh replica must start strictly idle, not at zero.
+		busyUntil: math.Inf(-1),
+		wakeAt:    math.Inf(1),
+	}
+	rep.wakeFn = rep.onWake
+	c.replicas = append(c.replicas, rep)
 }
 
-// RunCluster simulates the request stream over a pool of replicas.
-// makeHandler builds the handler for replica i (a fresh Apparate
-// controller per replica, or shared-nothing vanilla handlers). Each
-// replica streams its slice of the trace through its own pass of the
-// dispatch decision, so the cluster simulator, like the single-replica
-// one, holds no per-request state. With Autoscale set, a planning pass
-// first turns windowed load signals into a replica Plan, and every
-// replay pass consults the same plan — add/retire decisions are part of
-// the deterministic dispatch replay, not shared mutable state.
+// RunCluster simulates the request stream over a pool of replicas in a
+// single pass: every replica is an event-driven process on one shared
+// engine clock, dispatch reads true per-replica queue depth and
+// in-flight work at each arrival, and (with Autoscale set) the scaler
+// is consulted online at window boundaries — no per-replica trace
+// replay and no separate planning pass. makeHandler builds the handler
+// for replica i exactly once (a fresh Apparate controller per replica,
+// or shared-nothing vanilla handlers); with autoscaling, handlers past
+// the starting width are created lazily when the cluster first grows
+// to them. The run is a pure function of (stream, handlers, options):
+// event order is deterministic, so sweeps stay byte-identical at any
+// worker count, and memory is bounded by queue depths — independent of
+// trace length.
 func RunCluster(stream *workload.Stream, makeHandler func(i int) Handler, opts ClusterOptions) *ClusterStats {
-	// Least-loaded and autoscaling need per-replica service-time
-	// estimates for the backlog model. The estimate handlers are used
-	// only at dispatch/planning time; fresh handlers serve the actual
-	// sub-streams below.
-	var estCost []float64
-	var plan *autoscale.Plan
-	replicas := opts.Replicas
+	if opts.Autoscale == nil && opts.Replicas <= 0 {
+		panic("serving: RunCluster needs at least one replica")
+	}
+	c := &clusterSim{
+		loop: engine.New(),
+		opts: opts,
+		base: opts.Options.withDefaults(),
+		mk:   makeHandler,
+		it:   stream.Iter(),
+	}
+	c.arrivalFn = c.onArrival
+	if r, ok := c.it.Next(); ok {
+		c.next, c.has = r, true
+	}
+
+	start := opts.Replicas
 	if opts.Autoscale != nil {
 		cfg := *opts.Autoscale
 		if cfg.SLOms == 0 {
 			cfg.SLOms = opts.SLOms
 		}
-		estCost = make([]float64, cfg.Max)
-		for i := range estCost {
-			estCost[i] = makeHandler(i).BatchLatency(1)
-		}
-		plan = PlanScale(stream, estCost, cfg, opts.Dispatch)
-		replicas = plan.Peak()
-	} else {
-		if replicas <= 0 {
-			panic("serving: RunCluster needs at least one replica")
-		}
-		if opts.Dispatch == LeastLoaded {
-			estCost = make([]float64, replicas)
-			for i := range estCost {
-				estCost[i] = makeHandler(i).BatchLatency(1)
-			}
-		}
+		c.scaler = autoscale.New(cfg)
+		eff := c.scaler.Config()
+		c.plan = &autoscale.Plan{Start: c.scaler.Replicas()}
+		c.winEnd = eff.WindowMS
+		c.winLat = metrics.NewSketch()
+		start = c.scaler.Replicas()
 	}
+	c.setActive(start)
 
-	cs := &ClusterStats{PerReplica: make([]*Stats, replicas), Scale: plan}
-	merged := &Stats{Lat: metrics.NewRecorder(opts.Metrics, 4096)}
-	for i := 0; i < replicas; i++ {
-		ropts := opts.Options
-		if opts.ReplicaObserver != nil {
-			replica, inner := i, opts.Observer
-			ropts.Observer = func(r Result) {
-				if inner != nil {
-					inner(r)
-				}
-				opts.ReplicaObserver(replica, r)
-			}
-		}
-		src := &dispatchFilter{
-			src:      stream.Iter(),
-			replica:  i,
-			replicas: replicas,
-			asn: assigner{
-				dispatch: opts.Dispatch,
-				estCost:  estCost,
-				horizon:  make([]float64, len(estCost)),
-			},
-		}
-		if plan != nil {
-			src.scale = plan.Cursor()
-		}
-		st := Run(src, makeHandler(i), ropts)
-		cs.PerReplica[i] = st
-		mergeStats(merged, st)
+	c.loop.Add(c)
+	c.loop.Run()
+
+	cs := &ClusterStats{PerReplica: make([]*Stats, len(c.replicas)), Scale: c.plan}
+	merged := &Stats{Lat: metrics.NewRecorder(c.base.Metrics, 4096)}
+	var batches metrics.Counter
+	for i, rep := range c.replicas {
+		rep.st.finalize()
+		cs.PerReplica[i] = rep.st
+		mergeStats(merged, rep.st)
+		// AvgBatch averages the per-replica batch means, matching the
+		// single-replica definition per slice.
+		batches.Add(rep.st.AvgBatch)
 	}
 	merged.finalize()
-	// AvgBatch averages the per-replica batch means, matching the
-	// single-replica definition per slice.
-	var batches metrics.Counter
-	for _, st := range cs.PerReplica {
-		batches.Add(st.AvgBatch)
-	}
 	merged.AvgBatch = batches.Mean()
 	cs.Merged = merged
 	return cs
@@ -254,11 +613,4 @@ func mergeStats(dst, src *Stats) {
 	if src.LastDoneMS > dst.LastDoneMS {
 		dst.LastDoneMS = src.LastDoneMS
 	}
-}
-
-func backlog(horizon, now float64) float64 {
-	if horizon < now {
-		return 0
-	}
-	return horizon - now
 }

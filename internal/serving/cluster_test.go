@@ -34,23 +34,53 @@ func TestClusterSustainsHigherRate(t *testing.T) {
 func TestClusterServesEveryRequestOnce(t *testing.T) {
 	m := model.ResNet50()
 	s := workload.Video(0, 3000, 90, 52)
-	opts := Options{Platform: Clockwork, SLOms: m.SLO()}
-	for _, d := range []Dispatch{RoundRobin, LeastLoaded} {
-		seen := map[int]bool{}
-		dup := -1
-		copts := ClusterOptions{Options: opts, Replicas: 4, Dispatch: d}
-		copts.Observer = func(r Result) {
-			if seen[r.ID] {
-				dup = r.ID
+	for _, p := range []Platform{Clockwork, TFServe} {
+		opts := Options{Platform: p, SLOms: m.SLO()}
+		for _, d := range []Dispatch{RoundRobin, LeastLoaded, JoinShortestQueue} {
+			seen := map[int]bool{}
+			dup := -1
+			copts := ClusterOptions{Options: opts, Replicas: 4, Dispatch: d}
+			copts.Observer = func(r Result) {
+				if seen[r.ID] {
+					dup = r.ID
+				}
+				seen[r.ID] = true
 			}
-			seen[r.ID] = true
+			cluster := RunCluster(s, func(int) Handler { return &VanillaHandler{Model: m} }, copts)
+			if dup >= 0 {
+				t.Fatalf("%v/%v: request %d served twice", p, d, dup)
+			}
+			if len(seen) != 3000 || cluster.Merged.Total != 3000 {
+				t.Fatalf("%v/%v: %d distinct results (merged total %d), want 3000", p, d, len(seen), cluster.Merged.Total)
+			}
 		}
-		cluster := RunCluster(s, func(int) Handler { return &VanillaHandler{Model: m} }, copts)
-		if dup >= 0 {
-			t.Fatalf("%v: request %d served twice", d, dup)
+	}
+}
+
+// TestClusterSinglePass pins the engine refactor's core acceptance
+// criterion: RunCluster makes exactly one pass over the request stream
+// regardless of replica count — no per-replica trace replay.
+func TestClusterSinglePass(t *testing.T) {
+	m := model.ResNet50()
+	base := workload.Video(0, 500, 60, 57)
+	for _, replicas := range []int{1, 4, 16} {
+		passes := 0
+		s := workload.NewStream("counted", 0, base.Len(), func() func(i int) workload.Request {
+			passes++
+			it := base.Iter()
+			return func(int) workload.Request {
+				r, _ := it.Next()
+				return r
+			}
+		})
+		cs := RunCluster(s, func(int) Handler { return &VanillaHandler{Model: m} },
+			ClusterOptions{Options: Options{Platform: Clockwork, SLOms: m.SLO()},
+				Replicas: replicas, Dispatch: LeastLoaded})
+		if cs.Merged.Total != base.Len() {
+			t.Fatalf("replicas=%d: served %d of %d requests", replicas, cs.Merged.Total, base.Len())
 		}
-		if len(seen) != 3000 || cluster.Merged.Total != 3000 {
-			t.Fatalf("%v: %d distinct results (merged total %d), want 3000", d, len(seen), cluster.Merged.Total)
+		if passes != 1 {
+			t.Fatalf("replicas=%d: RunCluster made %d passes over the stream, want exactly 1", replicas, passes)
 		}
 	}
 }
@@ -82,19 +112,51 @@ func TestClusterPerReplicaControllers(t *testing.T) {
 	}
 }
 
-func TestLeastLoadedBeatsRoundRobinOnBursts(t *testing.T) {
+// TestLeastLoadedAdaptsToHeterogeneousReplicas is where exact-queue-state
+// least-loaded earns its keep: on a heterogeneous cluster (one fast, one
+// nominal, one slow replica via the Speeds hook), round-robin keeps
+// sending a third of the traffic to the slow replica and drops heavily,
+// while least-loaded reads each replica's true outstanding work — which
+// reflects its speed — and shifts load to the fast one. Work-awareness
+// also beats job counting (JSQ), which can't see that the slow replica's
+// short queue still takes longer to drain.
+func TestLeastLoadedAdaptsToHeterogeneousReplicas(t *testing.T) {
 	m := model.BERTBase()
 	qps := trace.TargetQPS(m) * 2
 	s := workload.Amazon(6000, qps, 54)
 	opts := Options{Platform: Clockwork, SLOms: m.SLO()}
+	speeds := []float64{1.6, 1, 0.55}
 	run := func(d Dispatch) float64 {
 		c := RunCluster(s, func(int) Handler { return &VanillaHandler{Model: m} },
-			ClusterOptions{Options: opts, Replicas: 3, Dispatch: d})
+			ClusterOptions{Options: opts, Replicas: 3, Dispatch: d, Speeds: speeds})
 		return c.Merged.DropRate
 	}
-	rr, ll := run(RoundRobin), run(LeastLoaded)
-	if ll > rr {
-		t.Fatalf("least-loaded drop rate %v above round-robin %v", ll, rr)
+	rr, ll, jsq := run(RoundRobin), run(LeastLoaded), run(JoinShortestQueue)
+	if ll >= rr/2 {
+		t.Fatalf("least-loaded drop rate %v not well below round-robin %v on a heterogeneous cluster", ll, rr)
+	}
+	if ll > jsq {
+		t.Fatalf("least-loaded drop rate %v above join-shortest-queue %v; work-awareness should beat job counting", ll, jsq)
+	}
+}
+
+// TestHeterogeneousSpeedsScaleLatency pins the Speeds hook itself: a
+// uniformly 2x-faster cluster must serve every request with strictly
+// lower p99 than the nominal one.
+func TestHeterogeneousSpeedsScaleLatency(t *testing.T) {
+	m := model.ResNet50()
+	s := workload.Video(0, 2000, 60, 56)
+	opts := Options{Platform: Clockwork, SLOms: m.SLO()}
+	run := func(speeds []float64) *ClusterStats {
+		return RunCluster(s, func(int) Handler { return &VanillaHandler{Model: m} },
+			ClusterOptions{Options: opts, Replicas: 2, Dispatch: RoundRobin, Speeds: speeds})
+	}
+	nominal, fast := run(nil), run([]float64{2})
+	if fast.Merged.Total != nominal.Merged.Total {
+		t.Fatalf("speed scaling changed the request count: %d vs %d", fast.Merged.Total, nominal.Merged.Total)
+	}
+	if fp, np := fast.Merged.Lat.Percentile(99), nominal.Merged.Lat.Percentile(99); fp >= np {
+		t.Fatalf("2x speeds p99 %v not below nominal %v", fp, np)
 	}
 }
 
@@ -108,7 +170,8 @@ func TestClusterPanicsOnZeroReplicas(t *testing.T) {
 }
 
 func TestDispatchStrings(t *testing.T) {
-	if RoundRobin.String() != "round-robin" || LeastLoaded.String() != "least-loaded" {
+	if RoundRobin.String() != "round-robin" || LeastLoaded.String() != "least-loaded" ||
+		JoinShortestQueue.String() != "join-shortest-queue" {
 		t.Fatal("bad dispatch names")
 	}
 }
@@ -165,10 +228,14 @@ func TestRoundRobinOrdering(t *testing.T) {
 	}
 }
 
-// TestLeastLoadedTieBreaking pins the tie rule: when several replicas
-// carry equal backlog, the lowest-indexed one wins, so a burst of
-// simultaneous arrivals spreads deterministically as 0,1,2,0,1,2,...
-func TestLeastLoadedTieBreaking(t *testing.T) {
+// TestDispatchTieBreaking pins the tie rule for both exact-queue-state
+// policies: when several replicas carry equal load, the lowest-indexed
+// one wins, so a burst of simultaneous arrivals spreads
+// deterministically as 0,1,2,0,1,2,... (LeastLoaded compares estimated
+// outstanding work; JoinShortestQueue compares jobs in system — with
+// identical replicas both re-tie after every assignment, and the
+// strict-inequality scan must then cycle like round-robin.)
+func TestDispatchTieBreaking(t *testing.T) {
 	m := model.ResNet50()
 	const n, replicas = 12, 3
 	reqs := make([]workload.Request, n)
@@ -177,23 +244,22 @@ func TestLeastLoadedTieBreaking(t *testing.T) {
 		reqs[i] = workload.Request{ID: i, ArrivalMS: 0}
 	}
 	opts := Options{Platform: Clockwork, SLOms: 100 * m.SLO()}
-	perReplica := make([][]int, replicas)
-	cluster := RunCluster(workload.FromSlice("burst", 0, reqs),
-		func(int) Handler { return &VanillaHandler{Model: m} },
-		ClusterOptions{Options: opts, Replicas: replicas, Dispatch: LeastLoaded,
-			ReplicaObserver: func(replica int, r Result) {
-				perReplica[replica] = append(perReplica[replica], r.ID)
-			}})
-	// Equal batch-1 latency per request means backlogs stay balanced and
-	// every round of assignments re-ties; the strict-inequality rule must
-	// then cycle 0,1,2 exactly like round-robin.
-	for i, ids := range perReplica {
-		if len(ids) != n/replicas || cluster.PerReplica[i].Total != n/replicas {
-			t.Fatalf("replica %d served %d requests, want %d", i, len(ids), n/replicas)
-		}
-		for _, id := range ids {
-			if id%replicas != i {
-				t.Fatalf("tie-break sent request %d to replica %d (want %d)", id, i, id%replicas)
+	for _, d := range []Dispatch{LeastLoaded, JoinShortestQueue} {
+		perReplica := make([][]int, replicas)
+		cluster := RunCluster(workload.FromSlice("burst", 0, reqs),
+			func(int) Handler { return &VanillaHandler{Model: m} },
+			ClusterOptions{Options: opts, Replicas: replicas, Dispatch: d,
+				ReplicaObserver: func(replica int, r Result) {
+					perReplica[replica] = append(perReplica[replica], r.ID)
+				}})
+		for i, ids := range perReplica {
+			if len(ids) != n/replicas || cluster.PerReplica[i].Total != n/replicas {
+				t.Fatalf("%v: replica %d served %d requests, want %d", d, i, len(ids), n/replicas)
+			}
+			for _, id := range ids {
+				if id%replicas != i {
+					t.Fatalf("%v: tie-break sent request %d to replica %d (want %d)", d, id, i, id%replicas)
+				}
 			}
 		}
 	}

@@ -1,0 +1,109 @@
+package serving
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/controller"
+	"repro/internal/exitsim"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// statsFingerprint renders every observable quantity of a Stats —
+// counts, rates, makespan, and the full latency recorder surface — in
+// full float precision, so two runs compare byte-identically.
+func statsFingerprint(s *Stats) string {
+	fp := fmt.Sprintf("total=%d delivered=%d drops=%d misses=%d correct=%d exits=%d "+
+		"avgbatch=%v droprate=%v missrate=%v tput=%v acc=%v first=%v last=%v lat_len=%d",
+		s.Total, s.Delivered, s.Drops, s.SLOMisses, s.Correct, s.Exits,
+		s.AvgBatch, s.DropRate, s.SLOMissRate, s.ThroughputQPS, s.Accuracy,
+		s.FirstArrivalMS, s.LastDoneMS, s.Lat.Len())
+	if s.Lat.Len() > 0 {
+		fp += fmt.Sprintf(" mean=%v min=%v max=%v", s.Lat.Mean(), s.Lat.Min(), s.Lat.Max())
+		for p := 1; p <= 100; p++ {
+			fp += fmt.Sprintf(" p%d=%v", p, s.Lat.Percentile(float64(p)))
+		}
+	}
+	return fp
+}
+
+// TestClusterSingleReplicaEquivalence is the engine refactor's anchor:
+// for Replicas=1 without autoscale, the event-driven RunCluster must
+// reproduce the single-replica Run byte-for-byte — identical Stats,
+// identical recorder output, and an identical per-request Result stream
+// — across both platforms, both metrics modes, both handler kinds, and
+// both workload families. The single-replica simulator is the reference
+// semantics; the cluster runtime is the same machine restructured as
+// events on the shared engine clock.
+func TestClusterSingleReplicaEquivalence(t *testing.T) {
+	type handlerCase struct {
+		name string
+		mk   func(m *model.Model, kind exitsim.Kind) Handler
+	}
+	handlers := []handlerCase{
+		{"vanilla", func(m *model.Model, _ exitsim.Kind) Handler {
+			return &VanillaHandler{Model: m}
+		}},
+		{"apparate", func(m *model.Model, kind exitsim.Kind) Handler {
+			return NewApparate(m, exitsim.ProfileFor(m, kind), 0.02, controller.Config{})
+		}},
+	}
+	type wlCase struct {
+		name   string
+		m      *model.Model
+		kind   exitsim.Kind
+		stream *workload.Stream
+	}
+	workloads := []wlCase{
+		{"video", model.ResNet50(), exitsim.KindVideo, workload.Video(1, 4000, 45, 71)},
+		{"amazon", model.BERTBase(), exitsim.KindAmazon, workload.Amazon(4000, 40, 72)},
+	}
+	for _, wl := range workloads {
+		for _, platform := range []Platform{Clockwork, TFServe} {
+			for _, mode := range []metrics.Mode{metrics.ModeExact, metrics.ModeSketch} {
+				for _, hc := range handlers {
+					name := fmt.Sprintf("%s/%s/%s/%s", wl.name, platform, mode, hc.name)
+					t.Run(name, func(t *testing.T) {
+						opts := Options{Platform: platform, SLOms: wl.m.SLO(), Metrics: mode}
+
+						var runResults []Result
+						runOpts := opts
+						runOpts.Observer = func(r Result) { runResults = append(runResults, r) }
+						single := Run(wl.stream.Iter(), hc.mk(wl.m, wl.kind), runOpts)
+
+						var clusterResults []Result
+						copts := ClusterOptions{Options: opts, Replicas: 1, Dispatch: RoundRobin}
+						copts.Observer = func(r Result) { clusterResults = append(clusterResults, r) }
+						cluster := RunCluster(wl.stream, func(int) Handler { return hc.mk(wl.m, wl.kind) }, copts)
+
+						if len(cluster.PerReplica) != 1 {
+							t.Fatalf("single-replica cluster built %d replicas", len(cluster.PerReplica))
+						}
+						want, got := statsFingerprint(single), statsFingerprint(cluster.PerReplica[0])
+						if want != got {
+							t.Fatalf("replica stats diverge from Run:\n run:     %s\n cluster: %s", want, got)
+						}
+						// Merged stats re-derive the same aggregates from the
+						// one replica.
+						if mw := statsFingerprint(cluster.Merged); mw != want {
+							t.Fatalf("merged stats diverge from Run:\n run:    %s\n merged: %s", want, mw)
+						}
+						if !reflect.DeepEqual(runResults, clusterResults) {
+							if len(runResults) != len(clusterResults) {
+								t.Fatalf("result streams differ in length: %d vs %d", len(runResults), len(clusterResults))
+							}
+							for i := range runResults {
+								if runResults[i] != clusterResults[i] {
+									t.Fatalf("result %d diverges:\n run:     %+v\n cluster: %+v", i, runResults[i], clusterResults[i])
+								}
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}

@@ -71,7 +71,7 @@ func WriteJSON(w io.Writer, results []Result) error {
 var csvHeader = []string{
 	"model", "workload", "platform", "dispatch", "replicas", "n", "seed",
 	"rate_mult", "ramp_budget", "acc_loss", "exit_rule", "metrics",
-	"rate_schedule", "autoscale", "generative", "slo_ms",
+	"rate_schedule", "autoscale", "hetero", "generative", "slo_ms",
 	"van_p50_ms", "van_p95_ms", "van_p99_ms", "app_p50_ms", "app_p95_ms", "app_p99_ms",
 	"p50_win_pct", "p95_win_pct", "p99_win_pct",
 	"van_accuracy", "app_accuracy", "acc_delta",
@@ -95,7 +95,7 @@ func WriteCSV(w io.Writer, results []Result) error {
 			sc.Model, sc.Workload, sc.Platform, sc.Dispatch,
 			strconv.Itoa(sc.Replicas), strconv.Itoa(sc.N), strconv.FormatUint(sc.Seed, 10),
 			ftoa(sc.RateMult), ftoa(sc.RampBudget), ftoa(sc.AccLoss), sc.ExitRule, sc.Metrics,
-			sc.RateSchedule, sc.Autoscale,
+			sc.RateSchedule, sc.Autoscale, sc.Hetero,
 			strconv.FormatBool(r.Generative), ftoa(r.SLOms),
 			ftoa(r.Vanilla.P50ms), ftoa(r.Vanilla.P95ms), ftoa(r.Vanilla.P99ms),
 			ftoa(r.Apparate.P50ms), ftoa(r.Apparate.P95ms), ftoa(r.Apparate.P99ms),

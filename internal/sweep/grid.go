@@ -50,6 +50,10 @@ type Grid struct {
 	// Autoscales lists replica-autoscaler specs ("1..4",
 	// "1..4/window=2000"); the empty spec keeps the fixed Replicas axis.
 	Autoscales []string
+	// Heteros lists replica-heterogeneity specs ("1,0.5" cycles speed
+	// factors over replica indexes); the empty spec is a homogeneous
+	// cluster.
+	Heteros []string
 
 	// N is the request count per classification scenario; GenN is the
 	// sequence count per generative scenario (generative decoding costs
@@ -113,6 +117,9 @@ func (g Grid) withDefaults() Grid {
 	if len(g.Autoscales) == 0 {
 		g.Autoscales = []string{""}
 	}
+	if len(g.Heteros) == 0 {
+		g.Heteros = []string{""}
+	}
 	if g.N == 0 {
 		g.N = 4000
 	}
@@ -161,6 +168,9 @@ func axisTokens(sc core.Scenario) map[string]string {
 	}
 	if sc.Autoscale != "" {
 		t["autoscale"] = sc.Autoscale
+	}
+	if sc.Hetero != "" {
+		t["hetero"] = sc.Hetero
 	}
 	return t
 }
@@ -283,29 +293,32 @@ func (g Grid) Expand() ([]core.Scenario, error) {
 										for _, mm := range g.Metrics {
 											for _, sched := range g.RateSchedules {
 												for _, as := range g.Autoscales {
-													sc := core.Scenario{
-														Model: mName, Workload: wl,
-														Platform: plat, Dispatch: disp, Replicas: rep,
-														N: n, RateMult: rate,
-														RampBudget: budget, AccLoss: accLoss,
-														ExitRule: rule, Metrics: mm,
-														RateSchedule: sched, Autoscale: as,
-													}.Normalize()
-													id := sc.Identity()
-													if seen[id] {
-														continue
+													for _, het := range g.Heteros {
+														sc := core.Scenario{
+															Model: mName, Workload: wl,
+															Platform: plat, Dispatch: disp, Replicas: rep,
+															N: n, RateMult: rate,
+															RampBudget: budget, AccLoss: accLoss,
+															ExitRule: rule, Metrics: mm,
+															RateSchedule: sched, Autoscale: as,
+															Hetero: het,
+														}.Normalize()
+														id := sc.Identity()
+														if seen[id] {
+															continue
+														}
+														seen[id] = true
+														tokens := axisTokens(sc)
+														if !only.keep(tokens) || skip.drops(tokens) {
+															continue
+														}
+														if err := sc.Validate(); err != nil {
+															return nil, err
+														}
+														sc.Seed = DeriveSeed(g.Seed, id)
+														out = append(out, sc)
+														ids = append(ids, id)
 													}
-													seen[id] = true
-													tokens := axisTokens(sc)
-													if !only.keep(tokens) || skip.drops(tokens) {
-														continue
-													}
-													if err := sc.Validate(); err != nil {
-														return nil, err
-													}
-													sc.Seed = DeriveSeed(g.Seed, id)
-													out = append(out, sc)
-													ids = append(ids, id)
 												}
 											}
 										}

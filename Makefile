@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-cluster sweep-smoke mem-smoke golden ci
+.PHONY: build test vet race bench bench-cluster bench-faults sweep-smoke mem-smoke golden ci
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ vet:
 # it drives: the event engine, the cluster runtime, and the autoscaled
 # path).
 race:
-	$(GO) test -race ./internal/sweep/... ./internal/serving/... ./internal/autoscale/... ./internal/core/... ./internal/engine/...
+	$(GO) test -race ./internal/sweep/... ./internal/serving/... ./internal/autoscale/... ./internal/core/... ./internal/engine/... ./internal/faults/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -49,6 +49,17 @@ bench-cluster:
 	  END { printf("\n  ]\n}\n") }' /tmp/bench_cluster.txt >> BENCH_cluster.json
 	@echo "bench-cluster: wrote BENCH_cluster.json"
 
+# Fault-injection overhead benchmark (faults=off vs a full churn +
+# delay + loss + retry stack at 1/4/16 replicas, 100k requests)
+# emitted as BENCH_faults.json.
+bench-faults:
+	$(GO) test -run '^$$' -bench BenchmarkFaultInjection -benchtime 5x . | tee /tmp/bench_faults.txt
+	@printf '{\n  "description": "BenchmarkFaultInjection: serving.RunCluster over 100k requests at constant per-replica load, reliable (faults=off) vs mtbf:20000/1000;delaydist=exp:1;loss=0.001 with attempts=3 retries. faults=off should track BenchmarkClusterScaling; the faulty rows bound the per-request cost of a chaos study. Regenerate with make bench-faults.",\n' > BENCH_faults.json
+	@awk 'BEGIN { printf("  \"results\": [\n") } \
+	  /^BenchmarkFaultInjection\// { sub(/^BenchmarkFaultInjection\//, "", $$1); sub(/-[0-9]+$$/, "", $$1); printf("%s    {\"case\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, $$1, $$2, $$3, $$5, $$7); sep=",\n" } \
+	  END { printf("\n  ]\n}\n") }' /tmp/bench_faults.txt >> BENCH_faults.json
+	@echo "bench-faults: wrote BENCH_faults.json"
+
 # A 24+-scenario mixed grid at -workers 8, then the determinism gate:
 # the same grid at -workers 1 must emit byte-identical JSON.
 SMOKE_FLAGS = -models resnet18,resnet50,vgg11,distilbert-base,bert-base,t5-large \
@@ -61,6 +72,17 @@ SMOKE_FLAGS = -models resnet18,resnet50,vgg11,distilbert-base,bert-base,t5-large
 AUTOSCALE_FLAGS = -models resnet50,bert-base -workloads video-1,amazon \
 	-rate-schedule 'phases:15x1/15x4,square:30/0.5/3' -autoscale 1..4 \
 	-n 2000 -seed 3 -quiet
+
+# Faulty grid (one-shot crash and churn+delay+loss fault models under
+# retry/hedging over 2 replicas): the chaos-study acceptance gate —
+# crash schedules, lossy transit, and hedging must all stay
+# byte-identical at any worker count. (The no-retry variants are
+# pinned by the golden grid; empty axis members are not expressible
+# from the CLI list flags.)
+FAULTS_FLAGS = -models resnet50,bert-base -workloads video-1,amazon \
+	-replicas 2 -dispatch round-robin,least-loaded \
+	-faults 'crash:r1@3000+2000|mtbf:8000/1000;delaydist=exp:2;loss=0.002' \
+	-retry attempts=3/hedge=95 -n 2000 -seed 4 -quiet
 
 sweep-smoke:
 	$(GO) run ./cmd/apparate-sweep $(SMOKE_FLAGS) -workers 8 -out /tmp/sweep-w8.json
@@ -75,7 +97,10 @@ sweep-smoke:
 	$(GO) run ./cmd/apparate-sweep $(AUTOSCALE_FLAGS) -metrics sketch -workers 8 -out /tmp/sweep-as-sk-w8.json >/dev/null
 	$(GO) run ./cmd/apparate-sweep $(AUTOSCALE_FLAGS) -metrics sketch -workers 1 -out /tmp/sweep-as-sk-w1.json >/dev/null
 	cmp /tmp/sweep-as-sk-w1.json /tmp/sweep-as-sk-w8.json
-	@echo "sweep-smoke: deterministic across worker counts (exact + sketch, incl. autoscale grid)"
+	$(GO) run ./cmd/apparate-sweep $(FAULTS_FLAGS) -workers 8 -out /tmp/sweep-flt-w8.json >/dev/null
+	$(GO) run ./cmd/apparate-sweep $(FAULTS_FLAGS) -workers 1 -out /tmp/sweep-flt-w1.json >/dev/null
+	cmp /tmp/sweep-flt-w1.json /tmp/sweep-flt-w8.json
+	@echo "sweep-smoke: deterministic across worker counts (exact + sketch, incl. autoscale + faulty grids)"
 
 # Memory guard: one 1,000,000-request scheduled-rate scenario in sketch
 # mode must complete under a 256 MiB soft heap limit with a bounded live

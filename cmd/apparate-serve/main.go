@@ -41,6 +41,8 @@ func main() {
 		schedule  = flag.String("rate-schedule", "", "time-varying arrival schedule, e.g. phases:10x1/10x4 | sine:60/0.5/2 | square:30/0.5/4 (empty = native arrivals)")
 		autoscl   = flag.String("autoscale", "", "replica autoscaler spec, e.g. 1..4 or 1..4/window=2000/cool=6000 (empty = fixed -replicas)")
 		hetero    = flag.String("hetero", "", "replica speed factors cycled over replica indexes, e.g. 1,0.5 (empty = homogeneous cluster)")
+		faultSpec = flag.String("faults", "", "fault-injection spec, e.g. 'crash:r1@2000+500;mtbf:8000/1000;delaydist=lognormal:5,1;loss=0.001' (empty = reliable cluster)")
+		retry     = flag.String("retry", "", "dispatcher retry/hedging spec, e.g. attempts=3 or attempts=2/hedge=95 (empty = dispatch once)")
 		seed      = flag.Uint64("seed", 1, "workload seed")
 	)
 	flag.Parse()
@@ -63,6 +65,8 @@ func main() {
 		RateSchedule: *schedule,
 		Autoscale:    *autoscl,
 		Hetero:       *hetero,
+		Faults:       *faultSpec,
+		Retry:        *retry,
 	}
 	res, err := core.RunScenario(sc)
 	if err != nil {
@@ -116,5 +120,11 @@ func printResult(res *core.Result) {
 	if res.PeakReplicas > 0 {
 		fmt.Printf("autoscale:  %d scale-ups, %d scale-downs, peak %d replicas (spec %s)\n",
 			res.ScaleUps, res.ScaleDowns, res.PeakReplicas, sc.Autoscale)
+	}
+	if sc.Faults != "" || sc.Retry != "" {
+		fmt.Printf("faults:     %d crashes, %d lost, %d retries, %d hedges, downtime %.0fms, unavailable %.0fms\n",
+			res.Crashes, res.Lost, res.Retries, res.Hedges, res.DowntimeMS, res.UnavailMS)
+		fmt.Printf("goodput:    vanilla %.1fqps, apparate %.1fqps (delivered within SLO)\n",
+			res.Vanilla.Goodput, res.Apparate.Goodput)
 	}
 }

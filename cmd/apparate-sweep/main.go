@@ -52,11 +52,21 @@ func splitList(s string) []string { return splitOn(s, ",") }
 // contain commas, like hetero speed specs.
 func splitSemiList(s string) []string { return splitOn(s, ";") }
 
-// splitFilters splits -only/-skip pattern lists: on semicolons when one
-// is present (so patterns over comma-valued tokens like hetero=1,0.5
-// stay intact — append a trailing ';' to force it for a single
-// pattern), on commas otherwise.
+// splitPipeList splits on pipes — for the faults axis, whose specs use
+// both commas (delay-distribution parameters) and semicolons (clause
+// separators) internally.
+func splitPipeList(s string) []string { return splitOn(s, "|") }
+
+// splitFilters splits -only/-skip pattern lists: on pipes when one is
+// present (so patterns over semicolon-valued tokens like multi-clause
+// fault specs stay intact — append a trailing '|' to force it for a
+// single pattern), else on semicolons when one is present (patterns
+// over comma-valued tokens like hetero=1,0.5 — trailing ';' forces
+// it), else on commas.
 func splitFilters(s string) []string {
+	if strings.Contains(s, "|") {
+		return splitPipeList(s)
+	}
 	if strings.Contains(s, ";") {
 		return splitSemiList(s)
 	}
@@ -107,11 +117,13 @@ func main() {
 		schedules  = flag.String("rate-schedule", "", "comma-separated arrival-rate schedules, e.g. 'phases:10x1/10x4,sine:60/0.5/2' (default: native stationary arrivals)")
 		autoscales = flag.String("autoscale", "", "comma-separated replica-autoscaler specs, e.g. '1..4,1..4/window=2000' (default: fixed replicas)")
 		heteros    = flag.String("hetero", "", "semicolon-separated replica-speed specs, e.g. '1,0.5;1,1,0.25' (default: homogeneous clusters)")
+		faultsAx   = flag.String("faults", "", "pipe-separated fault-injection specs, e.g. 'crash:r1@2000+500|mtbf:8000/1000;delaydist=exp:2;loss=0.001' (default: reliable clusters)")
+		retries    = flag.String("retry", "", "comma-separated dispatcher retry/hedging specs, e.g. 'attempts=3,attempts=2/hedge=95' (default: dispatch once)")
 		n          = flag.Int("n", 4000, "requests per classification scenario")
 		genN       = flag.Int("gen-n", 40, "sequences per generative scenario")
 		seed       = flag.Uint64("seed", 1, "base seed; per-scenario seeds derive from it")
-		only       = flag.String("only", "", "comma-separated include globs over axis tokens (e.g. 'model=resnet*,workload=video-0'); use ';' separators when a pattern contains commas (e.g. 'hetero=1,0.5;')")
-		skip       = flag.String("skip", "", "comma-separated exclude globs over axis tokens; ';' separators when a pattern contains commas")
+		only       = flag.String("only", "", "comma-separated include globs over axis tokens (e.g. 'model=resnet*,workload=video-0'); use ';' separators when a pattern contains commas (e.g. 'hetero=1,0.5;'), '|' when it contains semicolons (e.g. 'faults=mtbf:*;loss=*|')")
+		skip       = flag.String("skip", "", "comma-separated exclude globs over axis tokens; ';' separators when a pattern contains commas, '|' when it contains semicolons")
 		workers    = flag.Int("workers", 0, "concurrent scenario executions (0 = GOMAXPROCS)")
 		out        = flag.String("out", "", "write results to this file (format from -format)")
 		format     = flag.String("format", "json", "output format for -out: json | csv")
@@ -136,6 +148,8 @@ func main() {
 		RateSchedules: splitList(*schedules),
 		Autoscales:    splitList(*autoscales),
 		Heteros:       splitSemiList(*heteros),
+		Faults:        splitPipeList(*faultsAx),
+		Retries:       splitList(*retries),
 		N:             *n,
 		GenN:          *genN,
 		Seed:          *seed,

@@ -42,16 +42,40 @@ func goldenGrid() sweep.Grid {
 	}
 }
 
+// goldenFaultGrid extends the pin to the fault/retry axes: one-shot
+// crash and churn+delay+loss fault models, with and without
+// retry/hedging, under both exact-queue-state dispatch policies. It is
+// a separate grid (appended after the base rows) so the fault axes do
+// not multiply the whole base product.
+func goldenFaultGrid() sweep.Grid {
+	return sweep.Grid{
+		Models:     []string{"resnet18"},
+		Workloads:  []string{"video-0"},
+		Platforms:  []string{"clockwork"},
+		Dispatches: []string{"round-robin", "least-loaded"},
+		Replicas:   []int{2},
+		Faults:     []string{"crash:r1@3000+2000", "mtbf:8000/1000;delaydist=exp:2;loss=0.002"},
+		Retries:    []string{"", "attempts=3/hedge=95"},
+		N:          800,
+		Seed:       7,
+	}
+}
+
 // TestGoldenSweep is the regression gate the sweep substrate was built
-// for: it runs the pinned grid and byte-compares the CSV against
-// testdata/golden_sweep.csv. When a change intentionally shifts
-// results, refresh the pin with `make golden` and review the diff like
-// any other code change.
+// for: it runs the pinned grid (base rows plus the fault/retry rows)
+// and byte-compares the CSV against testdata/golden_sweep.csv. When a
+// change intentionally shifts results, refresh the pin with `make
+// golden` and review the diff like any other code change.
 func TestGoldenSweep(t *testing.T) {
 	scenarios, err := goldenGrid().Expand()
 	if err != nil {
 		t.Fatal(err)
 	}
+	faulty, err := goldenFaultGrid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios = append(scenarios, faulty...)
 	if len(scenarios) == 0 {
 		t.Fatal("golden grid expanded to zero scenarios")
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/controller"
 	"repro/internal/exitrule"
 	"repro/internal/exitsim"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/serving"
@@ -72,6 +73,22 @@ type Scenario struct {
 	// replicas. Cluster scenarios only (Replicas > 1 or Autoscale);
 	// single-replica scenarios clear it.
 	Hetero string `json:"hetero,omitempty"`
+	// Faults injects the deterministic fault model: a faults.Spec string
+	// such as "crash:r1@2000+500;delaydist=lognormal:5,1;loss=0.001"
+	// describing replica crash/restart schedules (one-shot and periodic
+	// MTBF/MTTR), dispatcher→replica network delay distributions, and
+	// request-level transit loss. Fault randomness draws from rng
+	// streams labeled off the scenario seed, so the base scenario's
+	// arrival and service draws are unchanged. Empty (the default) is a
+	// perfectly reliable cluster — pre-fault behavior, byte for byte.
+	// Classification workloads only.
+	Faults string `json:"faults,omitempty"`
+	// Retry is the dispatcher's retry/hedging policy: a faults.Retry
+	// spec such as "attempts=3" or "attempts=2/hedge=95" (bounded
+	// re-dispatch attempts, duplicate dispatch after a latency-quantile
+	// deadline, failed-replica exclusion). Empty dispatches each request
+	// exactly once. Classification workloads only.
+	Retry string `json:"retry,omitempty"`
 }
 
 // Normalize fills defaults and canonicalizes axes that a scenario class
@@ -104,6 +121,8 @@ func (sc Scenario) Normalize() Scenario {
 		sc.RateSchedule = ""
 		sc.Autoscale = ""
 		sc.Hetero = ""
+		sc.Faults = ""
+		sc.Retry = ""
 	} else {
 		sc.GenSlots, sc.GenFlush = 0, 0
 	}
@@ -124,6 +143,18 @@ func (sc Scenario) Normalize() Scenario {
 		// cluster) so equivalent scenarios share an identity and a seed.
 		if speeds, err := serving.ParseSpeeds(sc.Hetero); err == nil {
 			sc.Hetero = serving.FormatSpeeds(speeds)
+		}
+	}
+	if sc.Faults != "" {
+		// Same canonicalization story: clause order never distinguishes
+		// two fault models, so it must not distinguish two scenarios.
+		if fs, err := faults.Parse(sc.Faults); err == nil {
+			sc.Faults = fs.String()
+		}
+	}
+	if sc.Retry != "" {
+		if rp, err := faults.ParseRetry(sc.Retry); err == nil {
+			sc.Retry = rp.String()
 		}
 	}
 	if sc.Metrics == "" {
@@ -164,6 +195,12 @@ func (sc Scenario) Identity() string {
 	if sc.Hetero != "" {
 		fmt.Fprintf(&b, " hetero=%s", sc.Hetero)
 	}
+	if sc.Faults != "" {
+		fmt.Fprintf(&b, " faults=%s", sc.Faults)
+	}
+	if sc.Retry != "" {
+		fmt.Fprintf(&b, " retry=%s", sc.Retry)
+	}
 	// The exact default is omitted so pre-existing scenario identities
 	// (and the seeds derived from them) are unchanged.
 	if sc.Metrics != "" && sc.Metrics != "exact" {
@@ -195,6 +232,10 @@ type RunSummary struct {
 	Throughput  float64 `json:"throughput"`
 	DropRate    float64 `json:"drop_rate"`
 	SLOMissRate float64 `json:"slo_miss_rate"`
+	// Goodput counts only delivered requests that met the SLO, per
+	// second — the availability metric degraded-mode studies rank by
+	// (0 for generative serving, which has no per-request SLO).
+	Goodput float64 `json:"goodput"`
 }
 
 func summaryFromDist(d metrics.Recorder) RunSummary {
@@ -240,6 +281,17 @@ type Result struct {
 	ScaleUps     int `json:"scale_ups,omitempty"`
 	ScaleDowns   int `json:"scale_downs,omitempty"`
 	PeakReplicas int `json:"peak_replicas,omitempty"`
+
+	// Availability under the injected fault model, from the Apparate
+	// run (fault/retry scenarios only): realized crashes, requests lost
+	// in transit, re-dispatches, hedge duplicates, summed per-replica
+	// downtime, and total zero-live-replica time.
+	Crashes    int     `json:"crashes,omitempty"`
+	Lost       int     `json:"lost,omitempty"`
+	Retries    int     `json:"retries,omitempty"`
+	Hedges     int     `json:"hedges,omitempty"`
+	DowntimeMS float64 `json:"downtime_ms,omitempty"`
+	UnavailMS  float64 `json:"unavail_ms,omitempty"`
 }
 
 // kindFor maps a workload name to its calibration kind.
@@ -286,6 +338,12 @@ func (sc Scenario) Validate() error {
 	if _, err := serving.ParseSpeeds(sc.Hetero); err != nil {
 		return err
 	}
+	if _, err := faults.Parse(sc.Faults); err != nil {
+		return err
+	}
+	if _, err := faults.ParseRetry(sc.Retry); err != nil {
+		return err
+	}
 	sc = sc.Normalize()
 	m, err := model.ByName(sc.Model)
 	if err != nil {
@@ -319,6 +377,20 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.GenSlots < 0 || sc.GenFlush < 0 {
 		return fmt.Errorf("scenario: gen slots/flush must be non-negative (got %d/%d)", sc.GenSlots, sc.GenFlush)
+	}
+	if fs, _ := faults.Parse(sc.Faults); fs != nil {
+		// A clause naming a replica the cluster can never materialize
+		// would silently inject nothing — a reliable run masquerading as
+		// a chaos result — so reject it here.
+		width := sc.Replicas
+		if sc.Autoscale != "" {
+			if cfg, err := autoscale.Parse(sc.Autoscale); err == nil {
+				width = cfg.Max
+			}
+		}
+		if max := fs.MaxReplica(); max >= width {
+			return fmt.Errorf("scenario: faults spec names replica r%d but the cluster realizes at most %d replicas", max, width)
+		}
 	}
 	return nil
 }
@@ -371,7 +443,7 @@ func runClassScenario(sc Scenario) (*Result, error) {
 	cfg.Platform, _ = serving.ParsePlatform(sc.Platform)
 	res := &Result{Scenario: sc, Requests: stream.Len()}
 
-	if sc.Replicas == 1 && sc.Autoscale == "" {
+	if sc.Replicas == 1 && sc.Autoscale == "" && sc.Faults == "" && sc.Retry == "" {
 		sys := New(m, kind, cfg)
 		res.SLOms = sys.Opts.SLOms
 		v := sys.ServeVanilla(stream)
@@ -402,6 +474,15 @@ func runClassScenario(sc Scenario) (*Result, error) {
 		opts.Autoscale = &asCfg
 		maxReplicas = asCfg.Max
 	}
+	if sc.Faults != "" {
+		opts.Faults, _ = faults.Parse(sc.Faults)
+	}
+	if sc.Retry != "" {
+		opts.Retry, _ = faults.ParseRetry(sc.Retry)
+	}
+	// The fault streams are labeled off the scenario seed, so the same
+	// scenario always realizes the same crash/delay/loss schedule.
+	opts.FaultSeed = sc.Seed
 	res.SLOms = opts.SLOms
 
 	// One Apparate controller per replica (§3): each replica adapts to
@@ -430,6 +511,14 @@ func runClassScenario(sc Scenario) (*Result, error) {
 	v := serving.RunCluster(stream, mkVanilla, opts)
 	a := serving.RunCluster(stream, mkApparate, opts)
 	fillClass(res, v.Merged, a.Merged)
+	if a.Faults != nil {
+		res.Crashes = a.Faults.Crashes
+		res.Lost = a.Faults.Lost
+		res.Retries = a.Faults.Retried
+		res.Hedges = a.Faults.Hedged
+		res.DowntimeMS = a.Faults.Downtime()
+		res.UnavailMS = a.Faults.UnavailMS
+	}
 	// Sum adaptation activity over the replicas that actually served
 	// traffic. Replicas are created lazily as the autoscaler grows the
 	// cluster, so handlers past the realized peak were never built and
@@ -457,6 +546,7 @@ func fillClass(res *Result, v, a *serving.Stats) {
 	res.Vanilla.Throughput, res.Apparate.Throughput = v.ThroughputQPS, a.ThroughputQPS
 	res.Vanilla.DropRate, res.Apparate.DropRate = v.DropRate, a.DropRate
 	res.Vanilla.SLOMissRate, res.Apparate.SLOMissRate = v.SLOMissRate, a.SLOMissRate
+	res.Vanilla.Goodput, res.Apparate.Goodput = v.GoodputQPS, a.GoodputQPS
 	fillWins(res)
 }
 

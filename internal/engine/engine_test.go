@@ -123,6 +123,94 @@ func TestHaltStopsEarly(t *testing.T) {
 	}
 }
 
+// TestFaultEventInterleaving drives the loop the way the fault-injected
+// cluster runtime does: an arrival chain (class 0), wake/hold events
+// (class 1), crash/restart transitions (class 2), and loss-timeout
+// deadlines (class 3) all landing on shared instants. It pins that the
+// (time, class, seq) pop order fully determines execution — two
+// identical runs observe identical sequences — that same-instant events
+// rank fault transitions after arrivals and wakes but before timeouts,
+// and that Pending stays bounded by the live actors, never growing with
+// the number of processed events.
+func TestFaultEventInterleaving(t *testing.T) {
+	run := func() (trace []string, maxPending int) {
+		l := New()
+		rec := func(tag string) func(float64) {
+			return func(now float64) {
+				trace = append(trace, fmt.Sprintf("%s@%g", tag, now))
+				if p := l.Pending(); p > maxPending {
+					maxPending = p
+				}
+			}
+		}
+		// Arrival source: one event of lookahead, rescheduling itself —
+		// the streaming-source shape. Arrivals every 2ms.
+		var arrive func(i int)
+		arrive = func(i int) {
+			l.Schedule(float64(2*i), 0, func(now float64) {
+				rec(fmt.Sprintf("arr%d", i))(now)
+				// Each arrival requests a wake (hold/timeout style) at the
+				// same instant and one 3ms out.
+				l.Schedule(now, 1, rec(fmt.Sprintf("wake%d", i)))
+				l.Schedule(now+3, 1, rec(fmt.Sprintf("hold%d", i)))
+				if i < 19 {
+					arrive(i + 1)
+				}
+			})
+		}
+		arrive(0)
+		// A churn process: crash/restart pairs sharing instants with
+		// arrivals (t=8 collides with arr4, t=20 with arr10).
+		for _, at := range []float64{8, 20, 32} {
+			l.Schedule(at, 2, rec(fmt.Sprintf("crash@%g", at)))
+			l.Schedule(at+4, 2, rec(fmt.Sprintf("restart@%g", at+4)))
+		}
+		// Loss-detection timeouts at the same colliding instants.
+		l.Schedule(8, 3, rec("timeout-a"))
+		l.Schedule(20, 3, rec("timeout-b"))
+		l.Run()
+		return trace, maxPending
+	}
+	a, pa := run()
+	b, pb := run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("identical fault schedules popped differently:\n%v\n%v", a, b)
+	}
+	if pa != pb {
+		t.Fatalf("pending-watermark diverged: %d vs %d", pa, pb)
+	}
+	// Same-instant class ranking at t=8: the arrival admits first, its
+	// wake batches, then the crash transition, then the loss timeout.
+	order := map[string]int{}
+	for i, e := range a {
+		order[e] = i
+	}
+	for _, pair := range [][2]string{
+		{"arr4@8", "wake4@8"},
+		{"wake4@8", "crash@8@8"},
+		{"crash@8@8", "timeout-a@8"},
+		{"arr10@20", "crash@20@20"},
+		{"crash@20@20", "timeout-b@20"},
+	} {
+		ia, oka := order[pair[0]]
+		ib, okb := order[pair[1]]
+		if !oka || !okb {
+			t.Fatalf("trace missing %v (trace %v)", pair, a)
+		}
+		if ia >= ib {
+			t.Fatalf("%s popped after %s", pair[0], pair[1])
+		}
+	}
+	// Pending is O(live actors): one arrival of lookahead, a handful of
+	// wakes, the static fault schedule — never O(events processed).
+	if pa > 12 {
+		t.Fatalf("pending watermark %d suggests events accumulate", pa)
+	}
+	if len(a) != 20*3+8 {
+		t.Fatalf("ran %d events, want %d", len(a), 20*3+8)
+	}
+}
+
 type ticker struct {
 	period float64
 	left   int

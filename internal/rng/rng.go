@@ -9,7 +9,10 @@
 // without coordination.
 package rng
 
-import "math"
+import (
+	"hash/fnv"
+	"math"
+)
 
 // Rand is a deterministic pseudo-random number generator. The zero value
 // is a valid generator seeded with 0; prefer New to make seeds explicit.
@@ -33,6 +36,20 @@ func (r *Rand) Uint64() uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// Labeled returns the generator for an independent named stream of the
+// seed: an FNV-1a hash of the label is mixed into the seed through one
+// SplitMix64 step. Every subsystem that draws randomness orthogonal to
+// the workload itself (e.g. the "faults" stream behind fault injection)
+// must derive its generator through a dedicated label, never by reusing
+// the workload seed directly — that guarantee is what keeps enabling a
+// subsystem from perturbing the base scenario's arrival and service
+// draws.
+func Labeled(seed uint64, label string) *Rand {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return New(New(seed ^ h.Sum64()).Uint64())
 }
 
 // Split derives an independent child stream. The child's sequence does not

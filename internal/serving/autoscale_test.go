@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/autoscale"
+	"repro/internal/faults"
 	"repro/internal/model"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -148,6 +149,51 @@ func TestAutoscaleScaleDownLag(t *testing.T) {
 	}
 	if min != 1 {
 		t.Fatalf("plan never returned to min width: floor %d, want 1", min)
+	}
+}
+
+// TestAutoscaleScalesUpDuringOutage is the capacity-accounting
+// regression for fault injection: a crashed replica must not count as
+// capacity. A smooth fixed-rate load comfortable for two replicas
+// triggers no scaling on a reliable cluster; with one replica crashed
+// for a long window, the survivor overloads and the scaler — whose
+// utilization signal is computed over live replicas only — must add
+// capacity during the outage.
+func TestAutoscaleScalesUpDuringOutage(t *testing.T) {
+	m := model.ResNet50()
+	const crashAt, down = 3000.0, 9000.0
+	run := func(spec string) *ClusterStats {
+		// 160 fps: comfortable across two replicas (the reliable run
+		// below realizes zero scaling actions), well beyond one.
+		s := workload.Video(0, 12000, 160, 68)
+		var fs *faults.Spec
+		if spec != "" {
+			var err error
+			if fs, err = faults.Parse(spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return RunCluster(s, func(int) Handler { return &VanillaHandler{Model: m} }, ClusterOptions{
+			Options:   Options{Platform: Clockwork, SLOms: m.SLO()},
+			Dispatch:  RoundRobin,
+			Autoscale: &autoscale.Config{Min: 2, Max: 4},
+			Faults:    fs,
+			FaultSeed: 13,
+		})
+	}
+	reliable := run("")
+	if ups := reliable.Scale.Ups(); ups != 0 {
+		t.Fatalf("reliable cluster scaled up %d times under a comfortable load", ups)
+	}
+	faulty := run("crash:r1@3000+9000")
+	upDuringOutage := false
+	for _, step := range faulty.Scale.Steps {
+		if step.Replicas > 2 && step.AtMS >= crashAt && step.AtMS <= crashAt+down {
+			upDuringOutage = true
+		}
+	}
+	if !upDuringOutage {
+		t.Fatalf("scaler never added capacity during the outage: plan %+v", faulty.Scale)
 	}
 }
 

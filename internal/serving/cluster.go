@@ -9,6 +9,7 @@ import (
 	"repro/internal/autoscale"
 	"repro/internal/engine"
 	"repro/internal/exitsim"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/ramp"
 	"repro/internal/workload"
@@ -127,9 +128,27 @@ type ClusterOptions struct {
 	// Autoscale.Min and never exceeds Autoscale.Max. A zero
 	// Autoscale.SLOms inherits Options.SLOms.
 	Autoscale *autoscale.Config
+	// Faults, when non-nil and non-empty, injects the deterministic
+	// fault model into the run: replica crash/restart schedules,
+	// dispatcher→replica network delays, and transit loss, all realized
+	// as events on the shared engine clock. A crashed replica's queue is
+	// requeued to the dispatcher, dispatch excludes down replicas, and
+	// ClusterStats.Faults reports the availability outcome.
+	Faults *faults.Spec
+	// Retry is the dispatcher's retry/hedging policy (zero value =
+	// dispatch each request exactly once, pre-fault behavior). It is
+	// meaningful with or without Faults: hedging also covers plain slow
+	// queues.
+	Retry faults.Retry
+	// FaultSeed seeds the dedicated fault rng streams (derived through
+	// rng.Labeled, so fault draws never perturb the workload's own
+	// stream). Typically the scenario seed; only read when Faults or
+	// Retry are active.
+	FaultSeed uint64
 	// ReplicaObserver, when non-nil, receives every per-request Result
 	// tagged with the replica that served it (Options.Observer fires
-	// too, untagged).
+	// too, untagged). Results that never reached a replica (Lost) fire
+	// Options.Observer only.
 	ReplicaObserver func(replica int, r Result)
 }
 
@@ -142,6 +161,9 @@ type ClusterStats struct {
 	// Scale is the realized autoscaling plan (nil for fixed-replica
 	// runs).
 	Scale *autoscale.Plan
+	// Faults reports availability under the injected fault model (nil
+	// when the run had no fault mode active).
+	Faults *FaultStats
 }
 
 // Event classes on the shared engine loop. Arrivals rank before replica
@@ -152,6 +174,13 @@ type ClusterStats struct {
 const (
 	classArrival engine.Class = iota
 	classWake
+	// classFault ranks crash/restart transitions after same-instant
+	// arrivals and wakes, and classTimeout ranks loss-detection timeouts
+	// and hedge deadlines last. Both are new classes appended after the
+	// pre-fault ones, so the same-instant pop order — and with it every
+	// byte-identity pin — of fault-free runs is unchanged.
+	classFault
+	classTimeout
 )
 
 // scaledHandler wraps a Handler with a service-speed factor — the
@@ -193,19 +222,43 @@ type replicaSim struct {
 	queue     []workload.Request
 	busyUntil float64
 	inflight  int
+	// down marks a crashed replica (fault injection only): it receives
+	// no dispatches and forms no batches until its restart event. The
+	// batch in flight at crash time has already committed — the
+	// simulator treats batch execution as atomic — but everything queued
+	// is requeued to the dispatcher.
+	down bool
 	// wakeAt is the earliest pending wake (+Inf when none); used to
 	// dedup wake events so a hold or timeout wait schedules one event,
 	// not one per evaluation.
 	wakeAt float64
-	// wakeFn caches the onWake method value so scheduling a wake does
-	// not allocate a closure per event.
-	wakeFn func(now float64)
+	// wakeFn and recordFn cache method values so scheduling a wake or
+	// recording a batch does not allocate a closure per event.
+	wakeFn   func(now float64)
+	recordFn func(Result)
+}
+
+// record routes one copy's outcome: straight into the replica's Stats,
+// or — under fault injection — through the dispatcher's arbiter, which
+// discards duplicate copies and decides whether a drop is final.
+func (r *replicaSim) record(res Result) {
+	if r.c.fm != nil {
+		r.c.fm.complete(r, res)
+		return
+	}
+	r.st.record(res, r.opts.Observer)
 }
 
 // enqueue admits one dispatched arrival at time now.
 func (r *replicaSim) enqueue(req workload.Request, now float64) {
 	r.st.noteArrival(req)
 	if r.opts.Platform == TFServe && len(r.queue) >= r.opts.QueueCap {
+		if r.c.fm != nil {
+			// Queue overflow under fault mode: the dispatcher may retry
+			// the rejected copy on another replica.
+			r.c.fm.reject(r, req, now)
+			return
+		}
 		r.st.record(Result{
 			ID: req.ID, ArrivalMS: req.ArrivalMS,
 			Dropped: true, SLOMiss: true, ExitIndex: -1,
@@ -240,6 +293,9 @@ func (r *replicaSim) onWake(now float64) {
 	if now >= r.wakeAt {
 		r.wakeAt = math.Inf(1)
 	}
+	if r.down {
+		return // crashed: the restart (and later dispatches) resume us
+	}
 	if r.busyUntil > now {
 		return // serving; the completion wake re-evaluates
 	}
@@ -249,7 +305,7 @@ func (r *replicaSim) onWake(now float64) {
 	}
 	switch r.opts.Platform {
 	case Clockwork:
-		batch, rest := clockworkPick(r.queue, r.st, now, r.h, r.opts)
+		batch, rest := clockworkPick(r.queue, r.recordFn, now, r.h, r.opts)
 		r.queue = rest
 		if batch == nil {
 			return // everything queued was hopeless and dropped
@@ -310,7 +366,7 @@ func (r *replicaSim) serve(batch []workload.Request, now float64) {
 	for _, req := range batch {
 		out := r.h.Serve(req.Sample, b)
 		lat := now + out.ServeMS - req.ArrivalMS
-		r.st.record(Result{
+		r.record(Result{
 			ID:        req.ID,
 			ArrivalMS: req.ArrivalMS,
 			LatencyMS: lat,
@@ -319,7 +375,7 @@ func (r *replicaSim) serve(batch []workload.Request, now float64) {
 			ExitIndex: out.ExitIndex,
 			Correct:   out.Correct,
 			SLOMiss:   lat > r.opts.SLOms,
-		}, r.opts.Observer)
+		})
 	}
 	r.inflight = b
 	r.busyUntil = now + dur
@@ -381,6 +437,11 @@ type clusterSim struct {
 	active   int
 	rr       int // round-robin arrival counter
 
+	// fm is the fault runtime (nil for reliable runs — every fault-mode
+	// branch in the hot path is guarded on it, which is what keeps
+	// fault-free runs byte-identical to the pre-fault simulator).
+	fm *faultMode
+
 	// Online autoscaling state (nil scaler for fixed-width runs).
 	scaler      *autoscale.Scaler
 	plan        *autoscale.Plan
@@ -424,17 +485,21 @@ func (c *clusterSim) onArrival(now float64) {
 		}
 	}
 
-	target := c.dispatch(now)
-	rep := c.replicas[target]
-	if c.scaler != nil {
-		wait := rep.work(now)
-		c.winLat.Add(wait + rep.estCost)
-		if wait > c.peakBacklog {
-			c.peakBacklog = wait
+	if c.fm != nil {
+		c.fm.dispatchNew(req, now)
+	} else {
+		target := c.dispatch(now)
+		rep := c.replicas[target]
+		if c.scaler != nil {
+			wait := rep.work(now)
+			c.winLat.Add(wait + rep.estCost)
+			if wait > c.peakBacklog {
+				c.peakBacklog = wait
+			}
+			c.busy += rep.estCost
 		}
-		c.busy += rep.estCost
+		rep.enqueue(req, now)
 	}
-	rep.enqueue(req, now)
 
 	if c.has {
 		c.loop.Schedule(c.next.ArrivalMS, classArrival, c.arrivalFn)
@@ -466,14 +531,61 @@ func (c *clusterSim) dispatch(now float64) int {
 	return target
 }
 
+// pickAmong selects the dispatch target among the given replica
+// indexes (non-empty, ascending) under the cluster's dispatch policy;
+// ties break to the lowest index exactly like dispatch. The fault
+// runtime uses it to dispatch over the live (and not-yet-tried)
+// subset; the round-robin counter advances once per call either way.
+func (c *clusterSim) pickAmong(eligible []int, now float64) int {
+	target := eligible[0]
+	switch c.opts.Dispatch {
+	case RoundRobin:
+		target = eligible[c.rr%len(eligible)]
+	case LeastLoaded:
+		best := c.replicas[eligible[0]].work(now)
+		for _, j := range eligible[1:] {
+			if w := c.replicas[j].work(now); w < best {
+				target, best = j, w
+			}
+		}
+	case JoinShortestQueue:
+		best := c.replicas[eligible[0]].jobs(now)
+		for _, j := range eligible[1:] {
+			if n := c.replicas[j].jobs(now); n < best {
+				target, best = j, n
+			}
+		}
+	}
+	c.rr++
+	return target
+}
+
 // closeWindow summarizes the elapsed signal window, feeds the scaler,
 // and applies any replica-count change to subsequent dispatch.
 func (c *clusterSim) closeWindow() {
 	eff := c.scaler.Config()
+	capacity := float64(c.scaler.Replicas())
+	outage := false
+	if c.fm != nil {
+		// Crashed replicas are not capacity: utilization measures demand
+		// against the replicas that can actually serve, so an outage
+		// reads as load (and can trigger scale-up) instead of reading as
+		// spare capacity.
+		if live := c.fm.liveActive(); live > 0 {
+			capacity = float64(live)
+		} else {
+			outage = true
+		}
+	}
 	sig := autoscale.Signal{
 		Requests:      c.winLat.Len(),
 		PeakBacklogMS: c.peakBacklog,
-		Utilization:   c.busy / (float64(c.scaler.Replicas()) * eff.WindowMS),
+		Utilization:   c.busy / (capacity * eff.WindowMS),
+	}
+	if outage {
+		// Zero live replicas: report saturated capacity so the scaler
+		// can never read a total outage as an idle cluster.
+		sig.Utilization = 1
 	}
 	if sig.Requests > 0 {
 		sig.P99LatMS = c.winLat.Percentile(99)
@@ -496,6 +608,9 @@ func (c *clusterSim) setActive(n int) {
 		c.addReplica(i)
 	}
 	c.active = n
+	if c.fm != nil {
+		c.fm.onActiveChanged(c.loop.Now())
+	}
 }
 
 // addReplica creates replica i with its handler (speed-scaled when the
@@ -528,7 +643,11 @@ func (c *clusterSim) addReplica(i int) {
 		wakeAt:    math.Inf(1),
 	}
 	rep.wakeFn = rep.onWake
+	rep.recordFn = rep.record
 	c.replicas = append(c.replicas, rep)
+	if c.fm != nil {
+		c.fm.onReplicaAdded(i)
+	}
 }
 
 // RunCluster simulates the request stream over a pool of replicas in a
@@ -573,9 +692,15 @@ func RunCluster(stream *workload.Stream, makeHandler func(i int) Handler, opts C
 		c.winLat = metrics.NewSketch()
 		start = c.scaler.Replicas()
 	}
+	if !opts.Faults.Empty() || opts.Retry.Enabled() {
+		c.fm = newFaultMode(c, opts.Faults, opts.Retry, opts.FaultSeed)
+	}
 	c.setActive(start)
 
 	c.loop.Add(c)
+	if c.fm != nil {
+		c.loop.Add(c.fm)
+	}
 	c.loop.Run()
 
 	cs := &ClusterStats{PerReplica: make([]*Stats, len(c.replicas)), Scale: c.plan}
@@ -589,6 +714,11 @@ func RunCluster(stream *workload.Stream, makeHandler func(i int) Handler, opts C
 		// single-replica definition per slice.
 		batches.Add(rep.st.AvgBatch)
 	}
+	if c.fm != nil {
+		c.fm.finish(c.loop.Now())
+		mergeStats(merged, c.fm.st)
+		cs.Faults = c.fm.fs
+	}
 	merged.finalize()
 	merged.AvgBatch = batches.Mean()
 	cs.Merged = merged
@@ -600,6 +730,7 @@ func mergeStats(dst, src *Stats) {
 	dst.Total += src.Total
 	dst.Delivered += src.Delivered
 	dst.Drops += src.Drops
+	dst.Lost += src.Lost
 	dst.SLOMisses += src.SLOMisses
 	dst.Correct += src.Correct
 	dst.Exits += src.Exits

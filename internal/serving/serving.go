@@ -135,6 +135,11 @@ type Result struct {
 	Correct   bool
 	Dropped   bool
 	SLOMiss   bool
+	// Lost marks a request that never reached a replica: every dispatched
+	// copy was lost in transit and the retry budget is exhausted. Lost
+	// results are also Dropped (they were not served). Fault-injected
+	// cluster runs only.
+	Lost bool
 }
 
 // Stats aggregates a serving run. It holds summaries — counts, rates,
@@ -154,11 +159,17 @@ type Stats struct {
 	SLOMisses int
 	Correct   int
 	Exits     int
+	// Lost counts the subset of Drops that were lost in transit
+	// (fault-injected runs only).
+	Lost int
 
 	AvgBatch      float64
 	DropRate      float64
 	SLOMissRate   float64
 	ThroughputQPS float64
+	// GoodputQPS counts only delivered requests that met their SLO —
+	// the availability metric degraded-mode studies rank by.
+	GoodputQPS float64
 	// Accuracy is the fraction of delivered results matching the
 	// original model.
 	Accuracy float64
@@ -188,6 +199,9 @@ func (s *Stats) record(r Result, observer func(Result)) {
 	s.Total++
 	if r.Dropped {
 		s.Drops++
+		if r.Lost {
+			s.Lost++
+		}
 	} else {
 		s.Delivered++
 		if r.SLOMiss {
@@ -223,6 +237,7 @@ func (s *Stats) finalize() {
 	if s.LastDoneMS > 0 {
 		if span := s.LastDoneMS - s.FirstArrivalMS; span > 0 {
 			s.ThroughputQPS = float64(s.Delivered) / span * 1000
+			s.GoodputQPS = float64(s.Delivered-s.SLOMisses) / span * 1000
 		}
 	}
 }
@@ -263,6 +278,7 @@ func Run(src RequestSource, h Handler, opts Options) *Stats {
 	opts = opts.withDefaults()
 	st := &Stats{Lat: metrics.NewRecorder(opts.Metrics, 4096)}
 	in := &lookahead{src: src}
+	rec := func(r Result) { st.record(r, opts.Observer) }
 
 	now := 0.0 // GPU-free time
 	queue := make([]workload.Request, 0, opts.MaxBatch*4)
@@ -298,7 +314,7 @@ func Run(src RequestSource, h Handler, opts Options) *Stats {
 		var batch []workload.Request
 		switch opts.Platform {
 		case Clockwork:
-			batch, queue = clockworkPick(queue, st, now, h, opts)
+			batch, queue = clockworkPick(queue, rec, now, h, opts)
 			if batch == nil {
 				// Everything queued was dropped; loop to admit more.
 				continue
@@ -380,18 +396,20 @@ func Run(src RequestSource, h Handler, opts Options) *Stats {
 
 // clockworkPick drops requests whose SLO is unreachable even at batch
 // size 1, then selects the largest batch that keeps the oldest remaining
-// request within its SLO.
-func clockworkPick(queue []workload.Request, st *Stats, now float64, h Handler, opts Options) ([]workload.Request, []workload.Request) {
+// request within its SLO. Drops are reported through rec so cluster
+// runs under fault injection can arbitrate them (a hedged twin may
+// still succeed elsewhere).
+func clockworkPick(queue []workload.Request, rec func(Result), now float64, h Handler, opts Options) ([]workload.Request, []workload.Request) {
 	// Drop hopeless requests (oldest first).
 	for len(queue) > 0 {
 		oldest := queue[0]
 		if now-oldest.ArrivalMS+h.BatchLatency(1) <= opts.SLOms {
 			break
 		}
-		st.record(Result{
+		rec(Result{
 			ID: oldest.ID, ArrivalMS: oldest.ArrivalMS, Dropped: true, SLOMiss: true,
 			ExitIndex: -1,
-		}, opts.Observer)
+		})
 		queue = queue[1:]
 	}
 	if len(queue) == 0 {

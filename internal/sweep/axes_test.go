@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"encoding/csv"
 	"strings"
 	"testing"
 
@@ -65,6 +66,148 @@ func TestLoadDynamicsAxisFilters(t *testing.T) {
 	sc := scs[0]
 	if sc.RateSchedule != "phases:10x1/10x4" || sc.Autoscale != "" {
 		t.Fatalf("filters kept the wrong scenario: %+v", sc)
+	}
+}
+
+func TestExpandFaultAxes(t *testing.T) {
+	g := Grid{
+		Models:    []string{"resnet18"},
+		Workloads: []string{"video-0"},
+		Platforms: []string{"clockwork"},
+		Replicas:  []int{2},
+		Faults:    []string{"", "crash:r1@2000+500"},
+		Retries:   []string{"", "attempts=3"},
+		N:         100,
+	}
+	scs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 4 {
+		t.Fatalf("expanded %d scenarios, want 4 (2 faults x 2 retries)", len(scs))
+	}
+	// The fault-free scenario must keep the identity (and so the seed)
+	// it had before the fault axes existed.
+	plain := core.Scenario{Model: "resnet18", Workload: "video-0",
+		Platform: "clockwork", Replicas: 2, N: 100}.Normalize()
+	found := false
+	for _, sc := range scs {
+		if sc.Identity() == plain.Identity() {
+			found = true
+			if sc.Seed != DeriveSeed(g.Seed, plain.Identity()) {
+				t.Fatal("fault-free scenario's derived seed changed")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fault-free scenario missing from faulty grid")
+	}
+}
+
+func TestFaultAxisFilters(t *testing.T) {
+	g := Grid{
+		Models:    []string{"resnet18"},
+		Workloads: []string{"video-0"},
+		Platforms: []string{"clockwork"},
+		Replicas:  []int{2},
+		Faults:    []string{"", "crash:r1@2000+500", "loss=0.01"},
+		Retries:   []string{"", "attempts=3"},
+		N:         100,
+		Only:      []string{"faults=crash:*"},
+		Skip:      []string{"retry=*"},
+	}
+	scs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 {
+		t.Fatalf("filters kept %d scenarios, want 1", len(scs))
+	}
+	if sc := scs[0]; sc.Faults != "crash:r1@2000+500" || sc.Retry != "" {
+		t.Fatalf("filters kept the wrong scenario: %+v", sc)
+	}
+}
+
+// TestDeterministicAcrossWorkersFaulty extends the workers-1-vs-8
+// byte-identity gate over a faulty grid: crash schedules, churn, lossy
+// transit, and retry/hedging all ride the deterministic engine clock
+// and labeled rng streams, so concurrency must not be observable.
+func TestDeterministicAcrossWorkersFaulty(t *testing.T) {
+	g := Grid{
+		Models:    []string{"resnet18", "distilbert-base"},
+		Workloads: []string{"video-0", "amazon"},
+		Platforms: []string{"clockwork", "tf-serve"},
+		Replicas:  []int{2},
+		Faults:    []string{"crash:r1@2000+500", "mtbf:6000/800;delaydist=exp:2;loss=0.005"},
+		Retries:   []string{"", "attempts=3/hedge=95"},
+		N:         800,
+		Seed:      5,
+	}
+	scs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) < 8 {
+		t.Fatalf("faulty grid expanded to only %d scenarios", len(scs))
+	}
+	emit := func(workers int) string {
+		results := Run(scs, Options{Workers: workers})
+		for _, r := range results {
+			if r.Err != "" {
+				t.Fatalf("faulty scenario %s failed: %s", r.Scenario.Key(), r.Err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, results); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCSV(&buf, results); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if emit(1) != emit(8) {
+		t.Fatal("faulty sweep output differs between -workers 1 and -workers 8")
+	}
+}
+
+func TestCSVCarriesFaultColumns(t *testing.T) {
+	res := Result{Result: core.Result{
+		Scenario: core.Scenario{
+			Model: "resnet18", Workload: "video-0", N: 10, Replicas: 2,
+			Faults: "crash:r1@2000+500;loss=0.001", Retry: "attempts=3",
+		}.Normalize(),
+		Crashes: 1, Lost: 2, Retries: 7, Hedges: 3,
+		DowntimeMS: 500, UnavailMS: 0,
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(strings.NewReader(buf.String()))
+	rows, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("CSV has %d rows, want header + 1", len(rows))
+	}
+	col := func(name string) string {
+		for i, h := range rows[0] {
+			if h == name {
+				return rows[1][i]
+			}
+		}
+		t.Fatalf("CSV header missing column %q", name)
+		return ""
+	}
+	if col("faults") != "crash:r1@2000+500;loss=0.001" || col("retry") != "attempts=3" {
+		t.Fatalf("fault axis columns wrong: faults=%q retry=%q", col("faults"), col("retry"))
+	}
+	if col("crashes") != "1" || col("lost") != "2" || col("retries") != "7" ||
+		col("hedges") != "3" || col("downtime_ms") != "500" {
+		t.Fatalf("availability columns wrong: %q/%q/%q/%q/%q",
+			col("crashes"), col("lost"), col("retries"), col("hedges"), col("downtime_ms"))
 	}
 }
 

@@ -71,11 +71,13 @@ func WriteJSON(w io.Writer, results []Result) error {
 var csvHeader = []string{
 	"model", "workload", "platform", "dispatch", "replicas", "n", "seed",
 	"rate_mult", "ramp_budget", "acc_loss", "exit_rule", "metrics",
-	"rate_schedule", "autoscale", "hetero", "generative", "slo_ms",
+	"rate_schedule", "autoscale", "hetero", "faults", "retry", "generative", "slo_ms",
 	"van_p50_ms", "van_p95_ms", "van_p99_ms", "app_p50_ms", "app_p95_ms", "app_p99_ms",
 	"p50_win_pct", "p95_win_pct", "p99_win_pct",
 	"van_accuracy", "app_accuracy", "acc_delta",
 	"van_throughput", "app_throughput", "app_drop_rate", "app_slo_miss_rate",
+	"van_goodput", "app_goodput", "crashes", "lost", "retries", "hedges",
+	"downtime_ms", "unavail_ms",
 	"tune_rounds", "adjust_rounds", "active_ramps",
 	"scale_ups", "scale_downs", "peak_replicas", "error",
 }
@@ -95,7 +97,7 @@ func WriteCSV(w io.Writer, results []Result) error {
 			sc.Model, sc.Workload, sc.Platform, sc.Dispatch,
 			strconv.Itoa(sc.Replicas), strconv.Itoa(sc.N), strconv.FormatUint(sc.Seed, 10),
 			ftoa(sc.RateMult), ftoa(sc.RampBudget), ftoa(sc.AccLoss), sc.ExitRule, sc.Metrics,
-			sc.RateSchedule, sc.Autoscale, sc.Hetero,
+			sc.RateSchedule, sc.Autoscale, sc.Hetero, sc.Faults, sc.Retry,
 			strconv.FormatBool(r.Generative), ftoa(r.SLOms),
 			ftoa(r.Vanilla.P50ms), ftoa(r.Vanilla.P95ms), ftoa(r.Vanilla.P99ms),
 			ftoa(r.Apparate.P50ms), ftoa(r.Apparate.P95ms), ftoa(r.Apparate.P99ms),
@@ -103,6 +105,10 @@ func WriteCSV(w io.Writer, results []Result) error {
 			ftoa(r.Vanilla.Accuracy), ftoa(r.Apparate.Accuracy), ftoa(r.AccDelta),
 			ftoa(r.Vanilla.Throughput), ftoa(r.Apparate.Throughput),
 			ftoa(r.Apparate.DropRate), ftoa(r.Apparate.SLOMissRate),
+			ftoa(r.Vanilla.Goodput), ftoa(r.Apparate.Goodput),
+			strconv.Itoa(r.Crashes), strconv.Itoa(r.Lost),
+			strconv.Itoa(r.Retries), strconv.Itoa(r.Hedges),
+			ftoa(r.DowntimeMS), ftoa(r.UnavailMS),
 			strconv.Itoa(r.TuneRounds), strconv.Itoa(r.AdjustRounds), strconv.Itoa(r.ActiveRamps),
 			strconv.Itoa(r.ScaleUps), strconv.Itoa(r.ScaleDowns), strconv.Itoa(r.PeakReplicas),
 			r.Err,

@@ -54,6 +54,13 @@ type Grid struct {
 	// factors over replica indexes); the empty spec is a homogeneous
 	// cluster.
 	Heteros []string
+	// Faults lists fault-injection specs
+	// ("crash:r1@2000+500;loss=0.001", "mtbf:8000/1000;delaydist=exp:2");
+	// the empty spec is a perfectly reliable cluster.
+	Faults []string
+	// Retries lists dispatcher retry/hedging specs ("attempts=3",
+	// "attempts=2/hedge=95"); the empty spec dispatches once.
+	Retries []string
 
 	// N is the request count per classification scenario; GenN is the
 	// sequence count per generative scenario (generative decoding costs
@@ -120,6 +127,12 @@ func (g Grid) withDefaults() Grid {
 	if len(g.Heteros) == 0 {
 		g.Heteros = []string{""}
 	}
+	if len(g.Faults) == 0 {
+		g.Faults = []string{""}
+	}
+	if len(g.Retries) == 0 {
+		g.Retries = []string{""}
+	}
 	if g.N == 0 {
 		g.N = 4000
 	}
@@ -171,6 +184,12 @@ func axisTokens(sc core.Scenario) map[string]string {
 	}
 	if sc.Hetero != "" {
 		t["hetero"] = sc.Hetero
+	}
+	if sc.Faults != "" {
+		t["faults"] = sc.Faults
+	}
+	if sc.Retry != "" {
+		t["retry"] = sc.Retry
 	}
 	return t
 }
@@ -272,6 +291,15 @@ func (g Grid) Expand() ([]core.Scenario, error) {
 	}
 
 	seen := map[string]bool{}
+	// The fault and retry axes expand as a precomputed product so the
+	// twelve-deep axis nest does not grow two more levels.
+	type faultAxis struct{ faults, retry string }
+	faultAxes := make([]faultAxis, 0, len(g.Faults)*len(g.Retries))
+	for _, flt := range g.Faults {
+		for _, rty := range g.Retries {
+			faultAxes = append(faultAxes, faultAxis{flt, rty})
+		}
+	}
 	var out []core.Scenario
 	var ids []string // out[i]'s identity, kept for the final sort
 	for _, mName := range g.Models {
@@ -294,30 +322,32 @@ func (g Grid) Expand() ([]core.Scenario, error) {
 											for _, sched := range g.RateSchedules {
 												for _, as := range g.Autoscales {
 													for _, het := range g.Heteros {
-														sc := core.Scenario{
-															Model: mName, Workload: wl,
-															Platform: plat, Dispatch: disp, Replicas: rep,
-															N: n, RateMult: rate,
-															RampBudget: budget, AccLoss: accLoss,
-															ExitRule: rule, Metrics: mm,
-															RateSchedule: sched, Autoscale: as,
-															Hetero: het,
-														}.Normalize()
-														id := sc.Identity()
-														if seen[id] {
-															continue
+														for _, fr := range faultAxes {
+															sc := core.Scenario{
+																Model: mName, Workload: wl,
+																Platform: plat, Dispatch: disp, Replicas: rep,
+																N: n, RateMult: rate,
+																RampBudget: budget, AccLoss: accLoss,
+																ExitRule: rule, Metrics: mm,
+																RateSchedule: sched, Autoscale: as,
+																Hetero: het, Faults: fr.faults, Retry: fr.retry,
+															}.Normalize()
+															id := sc.Identity()
+															if seen[id] {
+																continue
+															}
+															seen[id] = true
+															tokens := axisTokens(sc)
+															if !only.keep(tokens) || skip.drops(tokens) {
+																continue
+															}
+															if err := sc.Validate(); err != nil {
+																return nil, err
+															}
+															sc.Seed = DeriveSeed(g.Seed, id)
+															out = append(out, sc)
+															ids = append(ids, id)
 														}
-														seen[id] = true
-														tokens := axisTokens(sc)
-														if !only.keep(tokens) || skip.drops(tokens) {
-															continue
-														}
-														if err := sc.Validate(); err != nil {
-															return nil, err
-														}
-														sc.Seed = DeriveSeed(g.Seed, id)
-														out = append(out, sc)
-														ids = append(ids, id)
 													}
 												}
 											}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-cluster bench-faults sweep-smoke mem-smoke golden ci
+.PHONY: build test vet race bench bench-cluster bench-faults bench-obs sweep-smoke mem-smoke golden ci
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,10 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector pass over the concurrent sweep engine (and the layers
-# it drives: the event engine, the cluster runtime, and the autoscaled
-# path).
+# it drives: the event engine, the cluster runtime, the autoscaled
+# path, and the observability sinks sweep workers write in parallel).
 race:
-	$(GO) test -race ./internal/sweep/... ./internal/serving/... ./internal/autoscale/... ./internal/core/... ./internal/engine/... ./internal/faults/...
+	$(GO) test -race ./internal/sweep/... ./internal/serving/... ./internal/autoscale/... ./internal/core/... ./internal/engine/... ./internal/faults/... ./internal/obs/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -60,6 +60,19 @@ bench-faults:
 	  END { printf("\n  ]\n}\n") }' /tmp/bench_faults.txt >> BENCH_faults.json
 	@echo "bench-faults: wrote BENCH_faults.json"
 
+# Observability overhead benchmark (obs=off vs lifecycle trace vs
+# trace+timeline on a 100k-request, 4-replica cluster) emitted as
+# BENCH_obs.json. The obs=off row is the zero-cost-when-off gate: it
+# must track BENCH_cluster.json's round-robin/replicas=4 row within
+# noise, with identical allocs/op.
+bench-obs:
+	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 5x . | tee /tmp/bench_obs.txt
+	@printf '{\n  "description": "BenchmarkObsOverhead: serving.RunCluster over 100k requests on 4 replicas, untraced vs lifecycle trace vs trace+timeline. obs=off must match BENCH_cluster.json dispatch=round-robin/replicas=4 within noise and add zero allocs/op (every emission site is one nil check); the traced rows bound the cost of a fully observed study. Regenerate with make bench-obs.",\n' > BENCH_obs.json
+	@awk 'BEGIN { printf("  \"results\": [\n") } \
+	  /^BenchmarkObsOverhead\// { sub(/^BenchmarkObsOverhead\//, "", $$1); sub(/-[0-9]+$$/, "", $$1); printf("%s    {\"case\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, $$1, $$2, $$3, $$5, $$7); sep=",\n" } \
+	  END { printf("\n  ]\n}\n") }' /tmp/bench_obs.txt >> BENCH_obs.json
+	@echo "bench-obs: wrote BENCH_obs.json"
+
 # A 24+-scenario mixed grid at -workers 8, then the determinism gate:
 # the same grid at -workers 1 must emit byte-identical JSON.
 SMOKE_FLAGS = -models resnet18,resnet50,vgg11,distilbert-base,bert-base,t5-large \
@@ -84,6 +97,14 @@ FAULTS_FLAGS = -models resnet50,bert-base -workloads video-1,amazon \
 	-faults 'crash:r1@3000+2000|mtbf:8000/1000;delaydist=exp:2;loss=0.002' \
 	-retry attempts=3/hedge=95 -n 2000 -seed 4 -quiet
 
+# Traced grid (lifecycle trace + gauge timeline over single-replica,
+# cluster, and faulty points): the observability determinism gate —
+# every per-scenario trace_NNN.jsonl and timeline_NNN.csv must be
+# byte-identical at any worker count.
+OBS_FLAGS = -models resnet18,resnet50 -workloads video-0,video-1 \
+	-replicas 1,2 -faults 'crash:r0@2000+800;loss=0.002' \
+	-retry attempts=2 -n 1500 -seed 6 -quiet
+
 sweep-smoke:
 	$(GO) run ./cmd/apparate-sweep $(SMOKE_FLAGS) -workers 8 -out /tmp/sweep-w8.json
 	$(GO) run ./cmd/apparate-sweep $(SMOKE_FLAGS) -workers 1 -out /tmp/sweep-w1.json >/dev/null
@@ -100,7 +121,12 @@ sweep-smoke:
 	$(GO) run ./cmd/apparate-sweep $(FAULTS_FLAGS) -workers 8 -out /tmp/sweep-flt-w8.json >/dev/null
 	$(GO) run ./cmd/apparate-sweep $(FAULTS_FLAGS) -workers 1 -out /tmp/sweep-flt-w1.json >/dev/null
 	cmp /tmp/sweep-flt-w1.json /tmp/sweep-flt-w8.json
-	@echo "sweep-smoke: deterministic across worker counts (exact + sketch, incl. autoscale + faulty grids)"
+	rm -rf /tmp/sweep-obs-w8 /tmp/sweep-obs-w1
+	$(GO) run ./cmd/apparate-sweep $(OBS_FLAGS) -obs-dir /tmp/sweep-obs-w8 -workers 8 -out /tmp/sweep-obs-w8.json >/dev/null
+	$(GO) run ./cmd/apparate-sweep $(OBS_FLAGS) -obs-dir /tmp/sweep-obs-w1 -workers 1 -out /tmp/sweep-obs-w1.json >/dev/null
+	cmp /tmp/sweep-obs-w1.json /tmp/sweep-obs-w8.json
+	diff -r /tmp/sweep-obs-w1 /tmp/sweep-obs-w8
+	@echo "sweep-smoke: deterministic across worker counts (exact + sketch, incl. autoscale, faulty, and traced grids)"
 
 # Memory guard: one 1,000,000-request scheduled-rate scenario in sketch
 # mode must complete under a 256 MiB soft heap limit with a bounded live

@@ -1,0 +1,62 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/serving"
+	"repro/internal/workload"
+)
+
+// BenchmarkObsOverhead measures the observability layer's cost on the
+// cluster hot path: the same 100k-request, 4-replica run as
+// BenchmarkClusterScaling, untraced (obs=off — must track
+// BENCH_cluster.json's dispatch=round-robin/replicas=4 row within
+// noise, with no new allocs/op, since every emission site is one nil
+// check), with the lifecycle trace attached (obs=trace), and with
+// trace plus timeline sampling (obs=trace+timeline). The traced rows
+// bound the per-request cost of a fully observed study.
+func BenchmarkObsOverhead(b *testing.B) {
+	const n = 100_000
+	const replicas = 4
+	m := model.ResNet18()
+	cases := []struct {
+		name string
+		mk   func() (*obs.Tracer, *obs.Timeline)
+	}{
+		{"obs=off", func() (*obs.Tracer, *obs.Timeline) { return nil, nil }},
+		{"obs=trace", func() (*obs.Tracer, *obs.Timeline) { return obs.NewTracer(), nil }},
+		{"obs=trace+timeline", func() (*obs.Tracer, *obs.Timeline) {
+			return obs.NewTracer(), obs.NewTimeline(0, m.SLO())
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(fmt.Sprintf("%s/replicas=%d", tc.name, replicas), func(b *testing.B) {
+			s := workload.Video(0, n, 30*float64(replicas), 9)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr, tl := tc.mk()
+				opts := serving.ClusterOptions{
+					Options: serving.Options{
+						Platform: serving.Clockwork, SLOms: m.SLO(),
+						Trace: tr, Timeline: tl,
+					},
+					Replicas: replicas,
+					Dispatch: serving.RoundRobin,
+				}
+				cs := serving.RunCluster(s, func(int) serving.Handler {
+					return &serving.VanillaHandler{Model: m}
+				}, opts)
+				if cs.Merged.Total != n {
+					b.Fatalf("cluster served %d requests, want %d", cs.Merged.Total, n)
+				}
+				if tr != nil && tr.Len() == 0 {
+					b.Fatal("traced run emitted no events")
+				}
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@
 //
 //	apparate-bench -list
 //	apparate-bench fig12 table2
+//	apparate-bench -cpuprofile cpu.pprof fig12
 //	apparate-bench all
 package main
 
@@ -11,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -18,6 +21,8 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list available experiment ids")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiments to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: apparate-bench [-list] <experiment-id>... | all\n")
 		flag.PrintDefaults()
@@ -38,16 +43,49 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		args = experiments.IDs()
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
 	for _, id := range args {
 		start := time.Now()
 		tables, err := experiments.Run(id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			stopProfiles(*cpuprofile, *memprofile)
+			fatal(err)
 		}
 		for _, t := range tables {
 			fmt.Println(t.String())
 		}
 		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
+	stopProfiles(*cpuprofile, *memprofile)
+}
+
+// stopProfiles finalizes whichever pprof outputs were requested.
+func stopProfiles(cpu, mem string) {
+	if cpu != "" {
+		pprof.StopCPUProfile()
+	}
+	if mem != "" {
+		f, err := os.Create(mem)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

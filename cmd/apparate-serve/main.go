@@ -12,11 +12,14 @@
 //	apparate-serve -model bert-base -workload amazon -replicas 4 -dispatch least-loaded
 //	apparate-serve -model t5-large -workload cnn-dailymail -n 500
 //	apparate-serve -model resnet18 -workload video-0 -n 1000000 -metrics sketch
+//	apparate-serve -model resnet50 -workload video-0 -trace run.jsonl -trace-chrome run.trace.json
+//	apparate-serve -model resnet50 -workload video-0 -replicas 4 -timeline run.csv -obs-tick 50
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -44,6 +47,10 @@ func main() {
 		faultSpec = flag.String("faults", "", "fault-injection spec, e.g. 'crash:r1@2000+500;mtbf:8000/1000;delaydist=lognormal:5,1;loss=0.001' (empty = reliable cluster)")
 		retry     = flag.String("retry", "", "dispatcher retry/hedging spec, e.g. attempts=3 or attempts=2/hedge=95 (empty = dispatch once)")
 		seed      = flag.Uint64("seed", 1, "workload seed")
+		tracePath = flag.String("trace", "", "write the Apparate run's request-lifecycle trace as JSONL to this file")
+		chromeP   = flag.String("trace-chrome", "", "write the trace in Chrome trace-event format (open in Perfetto or chrome://tracing)")
+		timelineP = flag.String("timeline", "", "write the sampled gauge timeline as CSV to this file")
+		obsTick   = flag.Float64("obs-tick", 0, "timeline sampling period in virtual ms (0 = 100ms default)")
 	)
 	flag.Parse()
 
@@ -67,13 +74,56 @@ func main() {
 		Hetero:       *hetero,
 		Faults:       *faultSpec,
 		Retry:        *retry,
+		Trace:        *tracePath != "" || *chromeP != "",
+		Timeline:     *timelineP != "",
+		ObsTickMS:    *obsTick,
 	}
-	res, err := core.RunScenario(sc)
+	if !sc.Trace && !sc.Timeline {
+		res, err := core.RunScenario(sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printResult(res)
+		return
+	}
+	res, od, err := core.RunScenarioObs(sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	printResult(res)
+	if od.Trace == nil && od.Timeline == nil {
+		// Normalize cleared the knobs: the generative path has no hooks.
+		fmt.Fprintln(os.Stderr, "observability is classification-only; no trace/timeline written")
+		return
+	}
+	if *tracePath != "" {
+		writeSink(*tracePath, od.Trace.WriteJSONL)
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (%d events, JSONL)\n", *tracePath, od.Trace.Len())
+	}
+	if *chromeP != "" {
+		writeSink(*chromeP, od.Trace.WriteChrome)
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (Chrome trace-event; open in Perfetto)\n", *chromeP)
+	}
+	if *timelineP != "" {
+		writeSink(*timelineP, od.Timeline.WriteCSV)
+		fmt.Fprintf(os.Stderr, "timeline: wrote %s (%d rows)\n", *timelineP, len(od.Timeline.Rows))
+	}
+}
+
+func writeSink(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 func printResult(res *core.Result) {
@@ -121,10 +171,14 @@ func printResult(res *core.Result) {
 		fmt.Printf("autoscale:  %d scale-ups, %d scale-downs, peak %d replicas (spec %s)\n",
 			res.ScaleUps, res.ScaleDowns, res.PeakReplicas, sc.Autoscale)
 	}
+	// The availability block prints only for fault/retry scenarios, in
+	// the same aligned vanilla/apparate columns as the latency table.
 	if sc.Faults != "" || sc.Retry != "" {
-		fmt.Printf("faults:     %d crashes, %d lost, %d retries, %d hedges, downtime %.0fms, unavailable %.0fms\n",
-			res.Crashes, res.Lost, res.Retries, res.Hedges, res.DowntimeMS, res.UnavailMS)
-		fmt.Printf("goodput:    vanilla %.1fqps, apparate %.1fqps (delivered within SLO)\n",
+		fmt.Printf("goodput    %8.1fqps %7.1fqps   (delivered within SLO)\n",
 			res.Vanilla.Goodput, res.Apparate.Goodput)
+		fmt.Printf("downtime   %9.0fms %8.0fms   (per-replica sum / zero-live)\n",
+			res.DowntimeMS, res.UnavailMS)
+		fmt.Printf("faults:     %d crashes, %d lost, %d retries, %d hedges\n",
+			res.Crashes, res.Lost, res.Retries, res.Hedges)
 	}
 }

@@ -11,6 +11,8 @@
 //	apparate-sweep -workloads 'video-*' -platforms clockwork -rank p99
 //	apparate-sweep -budgets 0.01,0.02,0.04 -out results.json
 //	apparate-sweep -skip 'model=vgg*' -format csv -out results.csv
+//	apparate-sweep -models resnet18 -workloads video-0 -obs-dir obs/   # per-scenario traces
+//	apparate-sweep -cpuprofile cpu.pprof -memprofile mem.pprof
 //	apparate-sweep -list            # print the expanded grid, don't run
 //
 // Axis flags take comma-separated values; empty axes expand to the full
@@ -25,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -131,8 +134,23 @@ func main() {
 		top        = flag.Int("top", 0, "show only the best N table rows (0 = all)")
 		list       = flag.Bool("list", false, "print the expanded scenario grid and exit without running")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		obsDir     = flag.String("obs-dir", "", "write per-scenario observability files (trace_NNN.jsonl, timeline_NNN.csv) into this directory; enables both sinks unless -obs-trace/-obs-timeline narrows them")
+		obsTrace   = flag.Bool("obs-trace", false, "with -obs-dir: write only the lifecycle traces")
+		obsTimelin = flag.Bool("obs-timeline", false, "with -obs-dir: write only the gauge timelines")
+		obsTick    = flag.Float64("obs-tick", 0, "timeline sampling period in virtual ms (0 = 100ms default)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile (post-sweep) to this file")
 	)
 	flag.Parse()
+
+	// -obs-dir alone turns on both sinks; the narrowing flags pick one.
+	wantTrace, wantTimeline := *obsTrace, *obsTimelin
+	if *obsDir != "" && !wantTrace && !wantTimeline {
+		wantTrace, wantTimeline = true, true
+	}
+	if *obsDir == "" && (wantTrace || wantTimeline) {
+		fatalf("-obs-trace/-obs-timeline need -obs-dir to write into")
+	}
 
 	grid := sweep.Grid{
 		Models:        splitList(*models),
@@ -155,6 +173,9 @@ func main() {
 		Seed:          *seed,
 		Only:          splitFilters(*only),
 		Skip:          splitFilters(*skip),
+		Trace:         wantTrace,
+		Timeline:      wantTimeline,
+		ObsTickMS:     *obsTick,
 	}
 	// Reject bad output options before spending compute on the grid.
 	if _, err := sweep.Rank(nil, *rank); err != nil {
@@ -179,7 +200,14 @@ func main() {
 		return
 	}
 
-	opts := sweep.Options{Workers: *workers}
+	if *obsDir != "" {
+		if err := os.MkdirAll(*obsDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
+
+	opts := sweep.Options{Workers: *workers, ObsDir: *obsDir}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "sweep: %d scenarios, %d workers\n", len(scenarios), effectiveWorkers(*workers, len(scenarios)))
 		opts.Progress = func(done, total int) {
@@ -191,6 +219,7 @@ func main() {
 	}
 	start := time.Now()
 	results := sweep.Run(scenarios, opts)
+	stopProfiles()
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "sweep: completed in %.1fs\n", time.Since(start).Seconds())
 	}
@@ -231,6 +260,38 @@ func main() {
 	}
 	if failed > 0 {
 		os.Exit(1)
+	}
+}
+
+// startProfiles begins CPU profiling and returns a stop function that
+// also snapshots the heap; both paths are no-ops when unset. The stop
+// runs right after the sweep so profiles capture scenario execution,
+// not output formatting.
+func startProfiles(cpu, mem string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("%v", err)
+			}
+			f.Close()
+		}
 	}
 }
 

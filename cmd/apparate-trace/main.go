@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"repro/internal/metrics"
 	"repro/internal/workload"
@@ -31,8 +32,22 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "seed")
 		binSec = flag.Float64("bin", 10, "histogram bin width in seconds")
 		mdName = flag.String("metrics", "exact", "difficulty recorder: exact | sketch (use sketch for -n in the millions)")
+		cpu    = flag.String("cpuprofile", "", "write a pprof CPU profile of the streaming pass to this file")
 	)
 	flag.Parse()
+
+	if *cpu != "" {
+		f, err := os.Create(*cpu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	mode, err := metrics.ParseMode(*mdName)
 	if err != nil {

@@ -204,6 +204,12 @@ type Scaler struct {
 
 	// Ups and Downs count committed scaling actions.
 	Ups, Downs int
+
+	// OnDecision, when non-nil, is invoked after each committed scaling
+	// action with the decision time and the replica counts before and
+	// after. It is observation only — the decision is already made when
+	// it fires — so wiring it cannot change scaler behavior.
+	OnDecision func(atMS float64, from, to int)
 }
 
 // New returns a scaler starting at cfg.Min replicas. It panics on an
@@ -230,6 +236,7 @@ func (s *Scaler) Observe(nowMS float64, sig Signal) (int, bool) {
 	if s.acted && nowMS-s.lastAct < s.cfg.CooldownMS {
 		return s.replicas, false
 	}
+	prev := s.replicas
 	slo := s.cfg.SLOms
 	switch {
 	case s.replicas < s.cfg.Max &&
@@ -248,6 +255,9 @@ func (s *Scaler) Observe(nowMS float64, sig Signal) (int, bool) {
 		return s.replicas, false
 	}
 	s.lastAct, s.acted = nowMS, true
+	if s.OnDecision != nil {
+		s.OnDecision(nowMS, prev, s.replicas)
+	}
 	return s.replicas, true
 }
 

@@ -157,3 +157,27 @@ func TestPlanCursorAndCounts(t *testing.T) {
 		}
 	}
 }
+
+func TestScalerOnDecision(t *testing.T) {
+	s := New(scalerCfg())
+	type dec struct {
+		at       float64
+		from, to int
+	}
+	var decs []dec
+	s.OnDecision = func(atMS float64, from, to int) { decs = append(decs, dec{atMS, from, to}) }
+	hot := Signal{Requests: 50, P99LatMS: 250, Utilization: 1.2}
+	s.Observe(1000, hot)      // 1 -> 2
+	s.Observe(2000, hot)      // 2 -> 3
+	s.Observe(2500, hot)      // cooldown: no decision, no callback
+	s.Observe(3000, Signal{}) // idle: 3 -> 2
+	want := []dec{{1000, 1, 2}, {2000, 2, 3}, {3000, 3, 2}}
+	if len(decs) != len(want) {
+		t.Fatalf("OnDecision fired %d times, want %d: %v", len(decs), len(want), decs)
+	}
+	for i, w := range want {
+		if decs[i] != w {
+			t.Fatalf("decision %d = %v, want %v", i, decs[i], w)
+		}
+	}
+}

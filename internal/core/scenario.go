@@ -11,6 +11,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/serving"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -89,6 +90,18 @@ type Scenario struct {
 	// deadline, failed-replica exclusion). Empty dispatches each request
 	// exactly once. Classification workloads only.
 	Retry string `json:"retry,omitempty"`
+	// Trace records the Apparate run's full request lifecycle (arrival,
+	// dispatch, queueing, service, completion, and every fault-path
+	// event) into an obs.Tracer, retrievable via RunScenarioObs.
+	// Timeline additionally samples cluster gauges every ObsTickMS
+	// virtual milliseconds (0 = obs.DefaultTickMS) into an obs.Timeline.
+	// Observability knobs never enter Identity — attaching a tracer
+	// must not shift a scenario's derived seed or any simulated outcome
+	// — and generative scenarios clear them (the generative engine is
+	// not instrumented). Classification workloads only.
+	Trace     bool    `json:"trace,omitempty"`
+	Timeline  bool    `json:"timeline,omitempty"`
+	ObsTickMS float64 `json:"obs_tick_ms,omitempty"`
 }
 
 // Normalize fills defaults and canonicalizes axes that a scenario class
@@ -123,6 +136,8 @@ func (sc Scenario) Normalize() Scenario {
 		sc.Hetero = ""
 		sc.Faults = ""
 		sc.Retry = ""
+		sc.Trace = false
+		sc.Timeline = false
 	} else {
 		sc.GenSlots, sc.GenFlush = 0, 0
 	}
@@ -159,6 +174,10 @@ func (sc Scenario) Normalize() Scenario {
 	}
 	if sc.Metrics == "" {
 		sc.Metrics = "exact"
+	}
+	if !sc.Timeline {
+		// The tick only means something when the sampler exists.
+		sc.ObsTickMS = 0
 	}
 	return sc
 }
@@ -378,6 +397,9 @@ func (sc Scenario) Validate() error {
 	if sc.GenSlots < 0 || sc.GenFlush < 0 {
 		return fmt.Errorf("scenario: gen slots/flush must be non-negative (got %d/%d)", sc.GenSlots, sc.GenFlush)
 	}
+	if sc.ObsTickMS < 0 {
+		return fmt.Errorf("scenario: observability tick %g must be non-negative", sc.ObsTickMS)
+	}
 	if fs, _ := faults.Parse(sc.Faults); fs != nil {
 		// A clause naming a replica the cluster can never materialize
 		// would silently inject nothing — a reliable run masquerading as
@@ -410,10 +432,43 @@ func RunScenario(sc Scenario) (*Result, error) {
 	if sc.Generative() {
 		return runGenScenario(sc)
 	}
-	return runClassScenario(sc)
+	return runClassScenario(sc, nil)
 }
 
-func runClassScenario(sc Scenario) (*Result, error) {
+// ObsData is the observability output of a traced scenario run: the
+// lifecycle trace and/or gauge timeline of the Apparate run, per the
+// scenario's Trace/Timeline knobs. Unrequested sinks are nil.
+type ObsData struct {
+	Trace    *obs.Tracer
+	Timeline *obs.Timeline
+}
+
+// RunScenarioObs runs the scenario exactly like RunScenario and also
+// returns its observability output. Only the Apparate run is traced —
+// the trace answers "what did Apparate's cluster do", and interleaving
+// the vanilla baseline into the same file would make every track
+// ambiguous. The Result is identical to an untraced run's: the sinks
+// observe the simulation without perturbing it.
+func RunScenarioObs(sc Scenario) (*Result, *ObsData, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, nil, err
+	}
+	sc = sc.Normalize()
+	od := &ObsData{}
+	if sc.Generative() {
+		// Generative scenarios have no obs hooks; Normalize cleared the
+		// knobs, so the sinks stay nil.
+		res, err := runGenScenario(sc)
+		return res, od, err
+	}
+	res, err := runClassScenario(sc, od)
+	return res, od, err
+}
+
+// runClassScenario runs a classification scenario; when od is non-nil
+// it attaches the observability sinks the scenario asks for to the
+// Apparate run.
+func runClassScenario(sc Scenario, od *ObsData) (*Result, error) {
 	m, err := model.ByName(sc.Model)
 	if err != nil {
 		return nil, err
@@ -443,10 +498,25 @@ func runClassScenario(sc Scenario) (*Result, error) {
 	cfg.Platform, _ = serving.ParsePlatform(sc.Platform)
 	res := &Result{Scenario: sc, Requests: stream.Len()}
 
+	if od != nil {
+		if sc.Trace {
+			od.Trace = obs.NewTracer()
+		}
+		if sc.Timeline {
+			od.Timeline = obs.NewTimeline(sc.ObsTickMS, m.SLO())
+		}
+	}
+
 	if sc.Replicas == 1 && sc.Autoscale == "" && sc.Faults == "" && sc.Retry == "" {
 		sys := New(m, kind, cfg)
 		res.SLOms = sys.Opts.SLOms
 		v := sys.ServeVanilla(stream)
+		if od != nil {
+			// Attach the sinks after the vanilla baseline so only the
+			// Apparate run is observed; Opts is a value, so this never
+			// leaks into a later ServeVanilla.
+			sys.Opts.Trace, sys.Opts.Timeline = od.Trace, od.Timeline
+		}
 		a := sys.Serve(stream)
 		fillClass(res, v, a)
 		ctl := sys.Controller()
@@ -509,6 +579,11 @@ func runClassScenario(sc Scenario) (*Result, error) {
 		return &serving.VanillaHandler{Model: mm}
 	}
 	v := serving.RunCluster(stream, mkVanilla, opts)
+	if od != nil {
+		// The vanilla baseline above ran with the zero-valued sinks, so
+		// only the Apparate cluster is traced.
+		opts.Options.Trace, opts.Options.Timeline = od.Trace, od.Timeline
+	}
 	a := serving.RunCluster(stream, mkApparate, opts)
 	fillClass(res, v.Merged, a.Merged)
 	if a.Faults != nil {

@@ -42,11 +42,12 @@ type event struct {
 // milliseconds and a deterministic min-heap of pending events. The zero
 // value is not ready; use New.
 type Loop struct {
-	now    float64
-	heap   []event
-	seq    uint64
-	inRun  bool
-	halted bool
+	now     float64
+	heap    []event
+	seq     uint64
+	inRun   bool
+	halted  bool
+	advance func(prev, now float64)
 }
 
 // New returns an empty loop at time zero.
@@ -84,6 +85,17 @@ type Process interface {
 // Add starts a process on the loop.
 func (l *Loop) Add(p Process) { p.Start(l) }
 
+// OnAdvance registers fn to run whenever Run is about to advance the
+// clock to a strictly later instant, with the previous and new times.
+// It fires before the event at the new instant executes, so fn sees the
+// simulation state as of `prev` — the hook observability samplers hang
+// off. Unlike a self-rescheduling tick process, an advance hook adds no
+// heap events and never extends the clock past the last real event, so
+// registering one cannot perturb event order, sequence numbers, or
+// end-of-run bookkeeping. Passing nil clears the hook. Only one hook is
+// supported; composing is the caller's job.
+func (l *Loop) OnAdvance(fn func(prev, now float64)) { l.advance = fn }
+
 // Run pops events in deterministic order until the heap is empty (or
 // Halt is called), advancing the clock to each event's timestamp.
 func (l *Loop) Run() {
@@ -94,6 +106,9 @@ func (l *Loop) Run() {
 	defer func() { l.inRun = false }()
 	for len(l.heap) > 0 && !l.halted {
 		e := l.pop()
+		if l.advance != nil && e.at > l.now {
+			l.advance(l.now, e.at)
+		}
 		l.now = e.at
 		e.fn(l.now)
 	}

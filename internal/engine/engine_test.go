@@ -242,3 +242,67 @@ func TestProcessInterleaving(t *testing.T) {
 		t.Fatalf("final clock %g, want 27", l.Now())
 	}
 }
+
+func TestOnAdvanceHook(t *testing.T) {
+	l := New()
+	type step struct{ prev, now float64 }
+	var steps []step
+	l.OnAdvance(func(prev, now float64) { steps = append(steps, step{prev, now}) })
+	// Two events at t=5 (same instant: one advance), then t=9.
+	l.Schedule(5, 0, func(now float64) {})
+	l.Schedule(5, 1, func(now float64) {})
+	l.Schedule(9, 0, func(now float64) {})
+	l.Run()
+	want := []step{{0, 5}, {5, 9}}
+	if len(steps) != len(want) {
+		t.Fatalf("advance fired %d times, want %d: %v", len(steps), len(want), steps)
+	}
+	for i, w := range want {
+		if steps[i] != w {
+			t.Fatalf("advance %d = %v, want %v", i, steps[i], w)
+		}
+	}
+}
+
+func TestOnAdvanceSeesPreAdvanceState(t *testing.T) {
+	// The hook fires before the event at the new instant executes: an
+	// event-scoped side effect at t=10 must not be visible to the hook
+	// transitioning to t=10.
+	l := New()
+	fired := false
+	l.OnAdvance(func(prev, now float64) {
+		if now == 10 && fired {
+			t.Fatal("advance hook ran after the t=10 event")
+		}
+	})
+	l.Schedule(10, 0, func(now float64) { fired = true })
+	l.Run()
+	if !fired {
+		t.Fatal("event did not run")
+	}
+}
+
+func TestOnAdvanceDoesNotPerturbOrder(t *testing.T) {
+	run := func(hook bool) []float64 {
+		l := New()
+		if hook {
+			l.OnAdvance(func(prev, now float64) {})
+		}
+		var order []float64
+		for _, at := range []float64{3, 1, 2, 2, 5} {
+			at := at
+			l.Schedule(at, 0, func(now float64) { order = append(order, now) })
+		}
+		l.Run()
+		return order
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event order differs at %d: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package obs is the observability substrate of the simulators: a
+// structured request-lifecycle trace and a time-series telemetry
+// sampler, both on the engine's virtual clock. Every study that needs
+// to see *when* things happened — queue depths through an outage, the
+// race between a hedge and its straggler, the lag between a burst and
+// the scale-up it forces — records through this package instead of
+// growing bespoke logging.
+//
+// Two contracts are load-bearing:
+//
+//   - Zero cost when off. A nil *Tracer / *Timeline compiles to one
+//     pointer check on the serving hot path; `make bench-obs` gates the
+//     untraced numbers against BENCH_cluster.json.
+//   - Determinism. Events are emitted single-threaded in simulation
+//     order and encoded with byte-stable formatting, so trace output is
+//     byte-identical at any sweep worker count — the same invariant the
+//     sweep CSVs already pin.
+//
+// Sinks: JSONL (one event per line, streamable into anything) and the
+// Chrome trace-event format (load the file at ui.perfetto.dev — one
+// track per replica, plus a dispatcher track with outage spans).
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Kind names one lifecycle event type. Request-scoped kinds carry a
+// request ID; replica-scoped kinds carry a replica index; cluster-scoped
+// kinds (scale/outage transitions) carry neither.
+type Kind string
+
+// Lifecycle event kinds.
+const (
+	// KindArrive marks a request entering the system at its arrival time.
+	KindArrive Kind = "arrive"
+	// KindDispatch marks the dispatcher routing a request (or a retried /
+	// hedged copy) to a replica.
+	KindDispatch Kind = "dispatch"
+	// KindEnqueue marks a copy joining a replica's queue; Val is the
+	// queue depth after the append.
+	KindEnqueue Kind = "enqueue"
+	// KindServeStart marks a batch starting execution on a replica;
+	// Batch is the batch size and DurMS the batch execution time.
+	KindServeStart Kind = "serve_start"
+	// KindComplete marks a request's response release; LatMS is the
+	// response latency and TMS the release instant (arrival + latency).
+	KindComplete Kind = "complete"
+	// KindDrop marks a request dropped by policy: a Clockwork SLO drop
+	// or a TF-Serving queue overflow with no retry budget left.
+	KindDrop Kind = "drop"
+
+	// Fault-path kinds.
+
+	// KindRequeue marks a copy pulled off a crashed (or mid-flight dead)
+	// replica and handed back to the dispatcher.
+	KindRequeue Kind = "requeue"
+	// KindRetry marks a bounded re-dispatch after a loss timeout or a
+	// queue-overflow bounce.
+	KindRetry Kind = "retry"
+	// KindHedge marks the hedge deadline firing: a duplicate copy is
+	// dispatched to a different replica.
+	KindHedge Kind = "hedge"
+	// KindPark marks an arrival held at the dispatcher because zero
+	// replicas were live; it re-dispatches when capacity returns.
+	KindPark Kind = "park"
+	// KindLost marks a request resolved as lost: every copy vanished in
+	// transit and the retry budget is exhausted.
+	KindLost Kind = "lost"
+	// KindTimeout marks a loss-detection timeout firing for a copy that
+	// never arrived.
+	KindTimeout Kind = "timeout"
+	// KindCrash and KindRestart bracket a replica's down window; the
+	// restart carries the outage duration in DurMS.
+	KindCrash   Kind = "crash"
+	KindRestart Kind = "restart"
+
+	// Autoscale / availability kinds.
+
+	// KindScaleUp and KindScaleDown mark committed autoscaler actions;
+	// Val is the replica count after the step.
+	KindScaleUp   Kind = "scale_up"
+	KindScaleDown Kind = "scale_down"
+	// KindOutageStart and KindOutageEnd bracket a zero-live-replica
+	// window; the end carries the window length in DurMS, and the summed
+	// DurMS over all pairs equals ClusterStats.Faults.UnavailMS.
+	KindOutageStart Kind = "outage_start"
+	KindOutageEnd   Kind = "outage_end"
+)
+
+// Event is one typed lifecycle record on the virtual clock. Zero-valued
+// optional fields are omitted from the encodings; Req and Replica use -1
+// as their "not applicable" sentinel because 0 is a valid ID and index.
+type Event struct {
+	// TMS is the event's virtual time in milliseconds.
+	TMS float64
+	// Kind is the event type.
+	Kind Kind
+	// Req is the request ID, or -1 for non-request events.
+	Req int
+	// Replica is the replica index, or -1 for non-replica events.
+	Replica int
+	// Batch is the batch size (serve_start, complete).
+	Batch int
+	// Val is a kind-specific count: queue depth after an enqueue,
+	// replica count after a scale step, dispatch attempt number.
+	Val int
+	// DurMS is a kind-specific duration: batch execution time
+	// (serve_start), down-window length (restart), outage length
+	// (outage_end).
+	DurMS float64
+	// LatMS is the response latency (complete).
+	LatMS float64
+}
+
+// At returns an Event at time t with the request/replica sentinels
+// cleared; callers fill the fields their kind carries.
+func At(tMS float64, kind Kind) Event {
+	return Event{TMS: tMS, Kind: kind, Req: -1, Replica: -1}
+}
+
+// Tracer buffers lifecycle events in emission order. It is not
+// concurrency-safe — one tracer belongs to one (single-threaded)
+// simulation run, exactly like the engine loop it observes. Memory is
+// O(events); tracing is opt-in, and runs that need bounded memory
+// (mem-smoke) leave it off.
+type Tracer struct {
+	Events []Event
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Emit appends one event.
+func (t *Tracer) Emit(e Event) { t.Events = append(t.Events, e) }
+
+// Len reports the number of buffered events.
+func (t *Tracer) Len() int { return len(t.Events) }
+
+// ftoa renders a float in the shortest exact form — the same byte-stable
+// formatting the sweep CSVs use, so trace output never depends on
+// printf rounding.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// appendJSON renders one event as a compact JSON object with a fixed
+// key order, omitting inapplicable fields.
+func appendJSON(buf []byte, e Event) []byte {
+	buf = append(buf, `{"t":`...)
+	buf = append(buf, ftoa(e.TMS)...)
+	buf = append(buf, `,"kind":"`...)
+	buf = append(buf, e.Kind...)
+	buf = append(buf, '"')
+	if e.Req >= 0 {
+		buf = append(buf, `,"req":`...)
+		buf = strconv.AppendInt(buf, int64(e.Req), 10)
+	}
+	if e.Replica >= 0 {
+		buf = append(buf, `,"replica":`...)
+		buf = strconv.AppendInt(buf, int64(e.Replica), 10)
+	}
+	if e.Batch != 0 {
+		buf = append(buf, `,"batch":`...)
+		buf = strconv.AppendInt(buf, int64(e.Batch), 10)
+	}
+	if e.Val != 0 {
+		buf = append(buf, `,"val":`...)
+		buf = strconv.AppendInt(buf, int64(e.Val), 10)
+	}
+	if e.DurMS != 0 {
+		buf = append(buf, `,"dur_ms":`...)
+		buf = append(buf, ftoa(e.DurMS)...)
+	}
+	if e.LatMS != 0 {
+		buf = append(buf, `,"lat_ms":`...)
+		buf = append(buf, ftoa(e.LatMS)...)
+	}
+	buf = append(buf, '}')
+	return buf
+}
+
+// WriteJSONL writes the trace as JSON Lines in emission order. The
+// encoding is byte-stable: fixed key order, shortest-exact floats, no
+// map iteration anywhere — two runs of the same simulation produce
+// identical bytes.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for _, e := range t.Events {
+		buf = appendJSON(buf[:0], e)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Chrome trace-event constants: timestamps are microseconds, and every
+// event lives in one process ("the cluster") with one thread per track.
+const (
+	chromeDispatcherTID = 0 // dispatcher / cluster-level track
+)
+
+// chromeTID maps an event to its track: replica-scoped events render on
+// the replica's thread, everything else on the dispatcher track.
+func chromeTID(e Event) int {
+	if e.Replica >= 0 {
+		return e.Replica + 1
+	}
+	return chromeDispatcherTID
+}
+
+// WriteChrome writes the trace in the Chrome trace-event JSON format
+// (viewable at ui.perfetto.dev or chrome://tracing): batches render as
+// duration slices on their replica's track, crash/restart and
+// outage_start/outage_end pairs render as "down"/"outage" spans, and
+// every other event renders as an instant with its fields as args.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	maxReplica := -1
+	for _, e := range t.Events {
+		if e.Replica > maxReplica {
+			maxReplica = e.Replica
+		}
+	}
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	sep := "\n"
+	emit := func(s string) error {
+		if _, err := bw.WriteString(sep + s); err != nil {
+			return err
+		}
+		sep = ",\n"
+		return nil
+	}
+	meta := func(tid int, name string) error {
+		return emit(fmt.Sprintf(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":%q}}`, tid, name))
+	}
+	if err := meta(chromeDispatcherTID, "dispatcher"); err != nil {
+		return err
+	}
+	for i := 0; i <= maxReplica; i++ {
+		if err := meta(i+1, fmt.Sprintf("replica %d", i)); err != nil {
+			return err
+		}
+	}
+	for _, e := range t.Events {
+		ts := ftoa(e.TMS * 1000) // ms -> us
+		tid := chromeTID(e)
+		var line string
+		switch e.Kind {
+		case KindServeStart:
+			line = fmt.Sprintf(`{"name":"batch(%d)","ph":"X","ts":%s,"dur":%s,"pid":0,"tid":%d}`,
+				e.Batch, ts, ftoa(e.DurMS*1000), tid)
+		case KindCrash:
+			line = fmt.Sprintf(`{"name":"down","ph":"B","ts":%s,"pid":0,"tid":%d}`, ts, tid)
+		case KindRestart:
+			line = fmt.Sprintf(`{"name":"down","ph":"E","ts":%s,"pid":0,"tid":%d}`, ts, tid)
+		case KindOutageStart:
+			line = fmt.Sprintf(`{"name":"outage","ph":"B","ts":%s,"pid":0,"tid":%d}`, ts, tid)
+		case KindOutageEnd:
+			line = fmt.Sprintf(`{"name":"outage","ph":"E","ts":%s,"pid":0,"tid":%d}`, ts, tid)
+		default:
+			args := make([]byte, 0, 64)
+			if e.Req >= 0 {
+				args = append(args, `"req":`...)
+				args = strconv.AppendInt(args, int64(e.Req), 10)
+			}
+			if e.Batch != 0 {
+				if len(args) > 0 {
+					args = append(args, ',')
+				}
+				args = append(args, `"batch":`...)
+				args = strconv.AppendInt(args, int64(e.Batch), 10)
+			}
+			if e.Val != 0 {
+				if len(args) > 0 {
+					args = append(args, ',')
+				}
+				args = append(args, `"val":`...)
+				args = strconv.AppendInt(args, int64(e.Val), 10)
+			}
+			if e.LatMS != 0 {
+				if len(args) > 0 {
+					args = append(args, ',')
+				}
+				args = append(args, `"lat_ms":`...)
+				args = append(args, ftoa(e.LatMS)...)
+			}
+			line = fmt.Sprintf(`{"name":%q,"ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{%s}}`,
+				string(e.Kind), ts, tid, args)
+		}
+		if err := emit(line); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// Gauges is one instantaneous snapshot of simulator state, filled by the
+// simulator's snapshot callback at each tick.
+type Gauges struct {
+	// Replicas is the configured replica count (autoscale target).
+	Replicas int
+	// Live is the number of replicas currently up (Replicas minus
+	// crashed ones).
+	Live int
+	// Queued is the total number of requests waiting in replica queues.
+	Queued int
+	// Inflight is the number of batches executing right now.
+	Inflight int
+	// Parked is the number of arrivals held at the dispatcher because no
+	// replica is live.
+	Parked int
+	// QueueDepths is the per-replica queue depth, indexed by replica.
+	QueueDepths []int
+}
+
+// Row is one emitted timeline sample: the gauges at a tick instant plus
+// the rolling-window latency stats accumulated since the previous tick.
+type Row struct {
+	TMS    float64
+	Gauges Gauges
+	// WinDone is the number of requests completed in the window.
+	WinDone int
+	// WinP99MS is the window's p99 latency (0 when the window is empty).
+	WinP99MS float64
+	// WinGoodputQPS is the window's SLO-compliant completion rate.
+	WinGoodputQPS float64
+}
+
+// Timeline samples simulator gauges at a fixed virtual-time tick and
+// accumulates per-window latency stats, emitting one Row per tick. Like
+// Tracer it is single-threaded and belongs to one run.
+//
+// It is deliberately NOT an engine process: scheduling tick events on
+// the loop would advance the clock past the last real event and perturb
+// end-of-run bookkeeping (fault windows clip at loop.Now()). Instead the
+// simulator calls CatchUp from the engine's advance hook, which emits
+// all tick rows that the clock just stepped over — the clock itself
+// never moves for the sampler's sake.
+type Timeline struct {
+	// TickMS is the sampling period in virtual milliseconds.
+	TickMS float64
+	// SLOms classifies window completions as goodput; 0 counts all.
+	SLOms float64
+
+	Rows []Row
+
+	nextTick float64
+	winLat   *metrics.Sketch
+	winDone  int
+	winGood  int
+}
+
+// DefaultTickMS is the sampling period when none is configured.
+const DefaultTickMS = 100
+
+// NewTimeline returns an empty timeline sampling every tickMS (0 means
+// DefaultTickMS) with the given goodput SLO (0 means count every
+// completion as good).
+func NewTimeline(tickMS, sloMS float64) *Timeline {
+	if tickMS <= 0 {
+		tickMS = DefaultTickMS
+	}
+	return &Timeline{TickMS: tickMS, SLOms: sloMS, winLat: metrics.NewSketch()}
+}
+
+// Observe records one completed request into the current window.
+func (tl *Timeline) Observe(latMS float64, sloMiss bool) {
+	tl.winLat.Add(latMS)
+	tl.winDone++
+	if tl.SLOms <= 0 || !sloMiss {
+		tl.winGood++
+	}
+}
+
+// CatchUp emits a Row for every pending tick instant <= nowMS, calling
+// snap for the gauges at each. The first call emits the tick-0 row. The
+// window stats land on the first row of a batch and reset after it: when
+// the clock jumps several ticks at once the intermediate rows are
+// (correctly) empty-window rows, since no completions happened inside
+// them.
+func (tl *Timeline) CatchUp(nowMS float64, snap func() Gauges) {
+	for tl.nextTick <= nowMS {
+		g := snap()
+		row := Row{TMS: tl.nextTick, Gauges: g, WinDone: tl.winDone}
+		if tl.winDone > 0 {
+			row.WinP99MS = tl.winLat.Percentile(99)
+			row.WinGoodputQPS = float64(tl.winGood) / tl.TickMS * 1000
+		}
+		tl.Rows = append(tl.Rows, row)
+		tl.winDone, tl.winGood = 0, 0
+		tl.winLat = metrics.NewSketch()
+		tl.nextTick += tl.TickMS
+	}
+}
+
+// Finish flushes the sampler at the end of a run: pending full ticks
+// emit via CatchUp, then any completions recorded after the last tick
+// emit as one final partial-window row stamped at nowMS, so the
+// timeline's summed WinDone always equals the run's delivered count.
+func (tl *Timeline) Finish(nowMS float64, snap func() Gauges) {
+	tl.CatchUp(nowMS, snap)
+	if tl.winDone == 0 {
+		return
+	}
+	row := Row{TMS: nowMS, Gauges: snap(), WinDone: tl.winDone, WinP99MS: tl.winLat.Percentile(99)}
+	if span := nowMS - (tl.nextTick - tl.TickMS); span > 0 {
+		row.WinGoodputQPS = float64(tl.winGood) / span * 1000
+	}
+	tl.Rows = append(tl.Rows, row)
+	tl.winDone, tl.winGood = 0, 0
+	tl.winLat = metrics.NewSketch()
+}
+
+// csvHeader is the fixed column set of WriteCSV.
+const csvHeader = "t_ms,replicas,live,queued,inflight,parked,win_done,win_p99_ms,win_goodput_qps,queue_depths\n"
+
+// WriteCSV writes the timeline with a fixed header. Per-replica queue
+// depths are semicolon-joined in the final column so the row count stays
+// stable when autoscaling changes the replica count mid-run. Floats use
+// the shortest exact representation; output is byte-stable.
+func (tl *Timeline) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(csvHeader); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, r := range tl.Rows {
+		buf = buf[:0]
+		buf = append(buf, ftoa(r.TMS)...)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Gauges.Replicas), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Gauges.Live), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Gauges.Queued), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Gauges.Inflight), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Gauges.Parked), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.WinDone), 10)
+		buf = append(buf, ',')
+		buf = append(buf, ftoa(r.WinP99MS)...)
+		buf = append(buf, ',')
+		buf = append(buf, ftoa(r.WinGoodputQPS)...)
+		buf = append(buf, ',')
+		for i, d := range r.Gauges.QueueDepths {
+			if i > 0 {
+				buf = append(buf, ';')
+			}
+			buf = strconv.AppendInt(buf, int64(d), 10)
+		}
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func staticGauges(g Gauges) func() Gauges { return func() Gauges { return g } }
+
+func TestTimelineTickZeroAndCatchUp(t *testing.T) {
+	tl := NewTimeline(100, 0)
+	g := Gauges{Replicas: 2, Live: 2, Queued: 3, QueueDepths: []int{1, 2}}
+	tl.CatchUp(0, staticGauges(g))
+	if len(tl.Rows) != 1 || tl.Rows[0].TMS != 0 {
+		t.Fatalf("first CatchUp(0) rows = %+v, want single t=0 row", tl.Rows)
+	}
+	// A jump over several ticks emits every intermediate row.
+	tl.CatchUp(350, staticGauges(g))
+	if len(tl.Rows) != 4 {
+		t.Fatalf("after CatchUp(350): %d rows, want 4 (t=0,100,200,300)", len(tl.Rows))
+	}
+	for i, want := range []float64{0, 100, 200, 300} {
+		if tl.Rows[i].TMS != want {
+			t.Errorf("row %d t = %v, want %v", i, tl.Rows[i].TMS, want)
+		}
+	}
+	// No duplicate emission when time hasn't crossed the next tick.
+	tl.CatchUp(399, staticGauges(g))
+	if len(tl.Rows) != 4 {
+		t.Fatalf("CatchUp(399) emitted a row early: %d rows", len(tl.Rows))
+	}
+}
+
+func TestTimelineWindowStats(t *testing.T) {
+	tl := NewTimeline(100, 50)
+	tl.CatchUp(0, staticGauges(Gauges{}))
+	tl.Observe(10, false)
+	tl.Observe(20, false)
+	tl.Observe(200, true) // SLO miss: counted in p99 window, not goodput
+	tl.CatchUp(100, staticGauges(Gauges{}))
+	r := tl.Rows[1]
+	if r.WinDone != 3 {
+		t.Errorf("WinDone = %d, want 3", r.WinDone)
+	}
+	// 2 good completions in a 100ms window = 20 qps.
+	if r.WinGoodputQPS != 20 {
+		t.Errorf("WinGoodputQPS = %v, want 20", r.WinGoodputQPS)
+	}
+	// Closest-rank p99 of 3 samples lands on the middle one (~20, within
+	// the sketch's 0.5% relative error).
+	if r.WinP99MS < 19 || r.WinP99MS > 21 {
+		t.Errorf("WinP99MS = %v, want ~20 (closest-rank over 3 samples)", r.WinP99MS)
+	}
+	// Window resets: the next tick with no completions is an empty row
+	// and must not panic on the empty sketch.
+	tl.CatchUp(200, staticGauges(Gauges{}))
+	r = tl.Rows[2]
+	if r.WinDone != 0 || r.WinP99MS != 0 || r.WinGoodputQPS != 0 {
+		t.Errorf("empty window row = %+v, want zeroed stats", r)
+	}
+}
+
+func TestTimelineWriteCSV(t *testing.T) {
+	tl := NewTimeline(50, 0)
+	tl.CatchUp(0, staticGauges(Gauges{Replicas: 2, Live: 1, Queued: 5, Inflight: 1, Parked: 3, QueueDepths: []int{5, 0}}))
+	tl.Observe(12.5, false)
+	tl.CatchUp(50, staticGauges(Gauges{Replicas: 2, Live: 2, QueueDepths: []int{0, 0}}))
+
+	var a, b bytes.Buffer
+	if err := tl.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteCSV is not byte-stable across calls")
+	}
+	lines := strings.Split(strings.TrimSuffix(a.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows:\n%s", len(lines), a.String())
+	}
+	if lines[0] != "t_ms,replicas,live,queued,inflight,parked,win_done,win_p99_ms,win_goodput_qps,queue_depths" {
+		t.Errorf("header = %s", lines[0])
+	}
+	if lines[1] != "0,2,1,5,1,3,0,0,0,5;0" {
+		t.Errorf("row 0 = %s", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "50,2,2,0,0,0,1,") || !strings.HasSuffix(lines[2], ",20,0;0") {
+		t.Errorf("row 1 = %s", lines[2])
+	}
+}
+
+func TestTimelineDefaultTick(t *testing.T) {
+	tl := NewTimeline(0, 0)
+	if tl.TickMS != DefaultTickMS {
+		t.Errorf("TickMS = %v, want %v", tl.TickMS, DefaultTickMS)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/exitsim"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/ramp"
 	"repro/internal/workload"
 )
@@ -247,6 +248,32 @@ func (r *replicaSim) record(res Result) {
 		return
 	}
 	r.st.record(res, r.opts.Observer)
+	r.c.observeResult(res, r.idx)
+}
+
+// observeResult traces one finalized result on replica idx's track and
+// feeds the timeline's rolling window. Fault-mode callers invoke it only
+// for the copy that won (or finally lost) its request, so duplicated
+// hedge work never double-counts in the trace either.
+func (c *clusterSim) observeResult(res Result, idx int) {
+	if c.tr != nil {
+		if res.Dropped {
+			e := obs.At(c.loop.Now(), obs.KindDrop)
+			e.Req = res.ID
+			e.Replica = idx
+			c.tr.Emit(e)
+		} else {
+			e := obs.At(res.ArrivalMS+res.LatencyMS, obs.KindComplete)
+			e.Req = res.ID
+			e.Replica = idx
+			e.Batch = res.BatchSize
+			e.LatMS = res.LatencyMS
+			c.tr.Emit(e)
+		}
+	}
+	if c.tl != nil && !res.Dropped {
+		c.tl.Observe(res.LatencyMS, res.SLOMiss)
+	}
 }
 
 // enqueue admits one dispatched arrival at time now.
@@ -259,13 +286,20 @@ func (r *replicaSim) enqueue(req workload.Request, now float64) {
 			r.c.fm.reject(r, req, now)
 			return
 		}
-		r.st.record(Result{
+		r.record(Result{
 			ID: req.ID, ArrivalMS: req.ArrivalMS,
 			Dropped: true, SLOMiss: true, ExitIndex: -1,
-		}, r.opts.Observer)
+		})
 		return
 	}
 	r.queue = append(r.queue, req)
+	if tr := r.c.tr; tr != nil {
+		e := obs.At(now, obs.KindEnqueue)
+		e.Req = req.ID
+		e.Replica = r.idx
+		e.Val = len(r.queue)
+		tr.Emit(e)
+	}
 	if r.busyUntil < now {
 		// Idle (no completion wake pending): evaluate at this instant.
 		// busyUntil == now means the completion wake at now is still
@@ -363,6 +397,13 @@ func (r *replicaSim) serve(batch []workload.Request, now float64) {
 	b := len(batch)
 	dur := r.h.BatchLatency(b)
 	r.st.batches.Add(float64(b))
+	if tr := r.c.tr; tr != nil {
+		e := obs.At(now, obs.KindServeStart)
+		e.Replica = r.idx
+		e.Batch = b
+		e.DurMS = dur
+		tr.Emit(e)
+	}
 	for _, req := range batch {
 		out := r.h.Serve(req.Sample, b)
 		lat := now + out.ServeMS - req.ArrivalMS
@@ -442,6 +483,12 @@ type clusterSim struct {
 	// fault-free runs byte-identical to the pre-fault simulator).
 	fm *faultMode
 
+	// tr and tl mirror base.Trace/base.Timeline (nil when observability
+	// is off — every emission site is guarded on them, the same
+	// zero-cost-when-off pattern fm uses).
+	tr *obs.Tracer
+	tl *obs.Timeline
+
 	// Online autoscaling state (nil scaler for fixed-width runs).
 	scaler      *autoscale.Scaler
 	plan        *autoscale.Plan
@@ -485,10 +532,21 @@ func (c *clusterSim) onArrival(now float64) {
 		}
 	}
 
+	if c.tr != nil {
+		e := obs.At(now, obs.KindArrive)
+		e.Req = req.ID
+		c.tr.Emit(e)
+	}
 	if c.fm != nil {
 		c.fm.dispatchNew(req, now)
 	} else {
 		target := c.dispatch(now)
+		if c.tr != nil {
+			e := obs.At(now, obs.KindDispatch)
+			e.Req = req.ID
+			e.Replica = target
+			c.tr.Emit(e)
+		}
 		rep := c.replicas[target]
 		if c.scaler != nil {
 			wait := rep.work(now)
@@ -613,6 +671,27 @@ func (c *clusterSim) setActive(n int) {
 	}
 }
 
+// gauges snapshots the cluster's instantaneous state as of time nowMS
+// (the last processed instant): per-replica queue depths, in-flight
+// batch sizes, live capacity, and parked arrivals.
+func (c *clusterSim) gauges(nowMS float64) obs.Gauges {
+	g := obs.Gauges{Replicas: c.active, QueueDepths: make([]int, len(c.replicas))}
+	for i, rep := range c.replicas {
+		g.QueueDepths[i] = len(rep.queue)
+		g.Queued += len(rep.queue)
+		if rep.busyUntil > nowMS {
+			g.Inflight += rep.inflight
+		}
+		if i < c.active && !rep.down {
+			g.Live++
+		}
+	}
+	if c.fm != nil {
+		g.Parked = len(c.fm.parked)
+	}
+	return g
+}
+
 // addReplica creates replica i with its handler (speed-scaled when the
 // cluster is heterogeneous) and latency recorder.
 func (c *clusterSim) addReplica(i int) {
@@ -675,6 +754,7 @@ func RunCluster(stream *workload.Stream, makeHandler func(i int) Handler, opts C
 		it:   stream.Iter(),
 	}
 	c.arrivalFn = c.onArrival
+	c.tr, c.tl = c.base.Trace, c.base.Timeline
 	if r, ok := c.it.Next(); ok {
 		c.next, c.has = r, true
 	}
@@ -695,13 +775,37 @@ func RunCluster(stream *workload.Stream, makeHandler func(i int) Handler, opts C
 	if !opts.Faults.Empty() || opts.Retry.Enabled() {
 		c.fm = newFaultMode(c, opts.Faults, opts.Retry, opts.FaultSeed)
 	}
+	if c.scaler != nil && c.tr != nil {
+		c.scaler.OnDecision = func(atMS float64, from, to int) {
+			kind := obs.KindScaleUp
+			if to < from {
+				kind = obs.KindScaleDown
+			}
+			e := obs.At(atMS, kind)
+			e.Val = to
+			c.tr.Emit(e)
+		}
+	}
 	c.setActive(start)
 
 	c.loop.Add(c)
 	if c.fm != nil {
 		c.loop.Add(c.fm)
 	}
+	if c.tl != nil {
+		// Sample from the engine's advance hook, never from tick events on
+		// the heap: a tick process would extend the clock past the last
+		// real event and shift end-of-run bookkeeping (fault windows clip
+		// at loop.Now()), breaking timeline-on == timeline-off results.
+		c.loop.OnAdvance(func(prev, now float64) {
+			c.tl.CatchUp(now, func() obs.Gauges { return c.gauges(prev) })
+		})
+	}
 	c.loop.Run()
+	if c.tl != nil {
+		end := c.loop.Now()
+		c.tl.Finish(end, func() obs.Gauges { return c.gauges(end) })
+	}
 
 	cs := &ClusterStats{PerReplica: make([]*Stats, len(c.replicas)), Scale: c.plan}
 	merged := &Stats{Lat: metrics.NewRecorder(c.base.Metrics, 4096)}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/workload"
 )
@@ -209,8 +210,13 @@ func (fm *faultMode) crash(i int, now float64) {
 	rep.down = true
 	fm.fs.Crashes++
 	fm.downAt[i] = now
+	if tr := fm.c.tr; tr != nil {
+		e := obs.At(now, obs.KindCrash)
+		e.Replica = i
+		tr.Emit(e)
+	}
 	if fm.liveActive() == 0 && math.IsNaN(fm.unavailAt) {
-		fm.unavailAt = now
+		fm.openUnavail(now)
 	}
 	q := rep.queue
 	rep.queue = rep.queue[:0]
@@ -221,7 +227,7 @@ func (fm *faultMode) crash(i int, now float64) {
 		}
 		entry.copies--
 		fm.fs.Retried++
-		fm.send(entry, now, false)
+		fm.send(entry, now, false, obs.KindRequeue)
 	}
 }
 
@@ -242,17 +248,39 @@ func (fm *faultMode) restart(i int, now float64) {
 	fm.fs.DowntimeMS[i] += d
 	fm.fs.Outages.Add(d)
 	fm.downAt[i] = math.NaN()
+	if tr := fm.c.tr; tr != nil {
+		e := obs.At(now, obs.KindRestart)
+		e.Replica = i
+		e.DurMS = d
+		tr.Emit(e)
+	}
 	if fm.liveActive() > 0 {
 		fm.closeUnavail(now)
 		fm.flushParked(now)
 	}
 }
 
-// closeUnavail ends an open zero-live-capacity window at time now.
+// openUnavail starts a zero-live-capacity window at time now.
+func (fm *faultMode) openUnavail(now float64) {
+	fm.unavailAt = now
+	if tr := fm.c.tr; tr != nil {
+		tr.Emit(obs.At(now, obs.KindOutageStart))
+	}
+}
+
+// closeUnavail ends an open zero-live-capacity window at time now. The
+// traced outage_end carries the window length, so summed pair durations
+// reconcile exactly with FaultStats.UnavailMS.
 func (fm *faultMode) closeUnavail(now float64) {
 	if !math.IsNaN(fm.unavailAt) {
-		fm.fs.UnavailMS += now - fm.unavailAt
+		d := now - fm.unavailAt
+		fm.fs.UnavailMS += d
 		fm.unavailAt = math.NaN()
+		if tr := fm.c.tr; tr != nil {
+			e := obs.At(now, obs.KindOutageEnd)
+			e.DurMS = d
+			tr.Emit(e)
+		}
 	}
 }
 
@@ -268,7 +296,7 @@ func (fm *faultMode) flushParked(now float64) {
 		if fm.pending[entry.req.ID] != entry {
 			continue
 		}
-		fm.send(entry, now, false)
+		fm.send(entry, now, false, obs.KindDispatch)
 	}
 }
 
@@ -282,7 +310,7 @@ func (fm *faultMode) onActiveChanged(now float64) {
 		fm.closeUnavail(now)
 		fm.flushParked(now)
 	} else if math.IsNaN(fm.unavailAt) && !fm.idle() {
-		fm.unavailAt = now
+		fm.openUnavail(now)
 	}
 }
 
@@ -291,7 +319,7 @@ func (fm *faultMode) dispatchNew(req workload.Request, now float64) {
 	fm.st.noteArrival(req)
 	entry := &pendingReq{req: req}
 	fm.pending[req.ID] = entry
-	fm.send(entry, now, true)
+	fm.send(entry, now, true, obs.KindDispatch)
 }
 
 // send dispatches one copy of the request: pick a live replica
@@ -299,8 +327,9 @@ func (fm *faultMode) dispatchNew(req workload.Request, now float64) {
 // attempt, then put the copy on the wire — where it may be lost or
 // delayed. fresh marks the request's very first dispatch, which is the
 // only one that folds into the autoscaler's window signals (retries
-// are not new demand).
-func (fm *faultMode) send(entry *pendingReq, now float64, fresh bool) {
+// are not new demand). kind is the trace label for this dispatch —
+// dispatch, requeue, retry, or hedge.
+func (fm *faultMode) send(entry *pendingReq, now float64, fresh bool, kind obs.Kind) {
 	c := fm.c
 	target, ok := fm.pick(now, entry.tried)
 	if !ok {
@@ -309,6 +338,11 @@ func (fm *faultMode) send(entry *pendingReq, now float64, fresh bool) {
 		// pessimistic latency sample so an outage registers as load,
 		// never as idleness.
 		fm.parked = append(fm.parked, entry)
+		if tr := c.tr; tr != nil {
+			e := obs.At(now, obs.KindPark)
+			e.Req = entry.req.ID
+			tr.Emit(e)
+		}
 		if c.scaler != nil && fresh {
 			c.winLat.Add(2 * c.base.SLOms)
 		}
@@ -318,6 +352,13 @@ func (fm *faultMode) send(entry *pendingReq, now float64, fresh bool) {
 	entry.copies++
 	entry.tried = append(entry.tried, target)
 	rep := c.replicas[target]
+	if tr := c.tr; tr != nil {
+		e := obs.At(now, kind)
+		e.Req = entry.req.ID
+		e.Replica = target
+		e.Val = entry.attempts
+		tr.Emit(e)
+	}
 	if c.scaler != nil && fresh {
 		wait := rep.work(now)
 		c.winLat.Add(wait + rep.estCost)
@@ -393,7 +434,7 @@ func (fm *faultMode) deliver(target, id int, now float64) {
 	if rep.down {
 		entry.copies--
 		fm.fs.Retried++
-		fm.send(entry, now, false)
+		fm.send(entry, now, false, obs.KindRequeue)
 		return
 	}
 	rep.enqueue(entry.req, now)
@@ -408,20 +449,35 @@ func (fm *faultMode) onLossTimeout(id int, now float64) {
 		return // another copy resolved the request
 	}
 	entry.copies--
+	if tr := fm.c.tr; tr != nil {
+		e := obs.At(now, obs.KindTimeout)
+		e.Req = id
+		tr.Emit(e)
+	}
 	if entry.attempts < fm.attemptCap() {
 		fm.fs.Retried++
-		fm.send(entry, now, false)
+		fm.send(entry, now, false, obs.KindRetry)
 		return
 	}
 	if entry.copies > 0 {
 		return // a hedge twin may still succeed
 	}
 	delete(fm.pending, id)
+	fm.recordLost(entry, now)
+}
+
+// recordLost finalizes a request as lost at time now.
+func (fm *faultMode) recordLost(entry *pendingReq, now float64) {
 	fm.fs.Lost++
 	fm.st.record(Result{
-		ID: id, ArrivalMS: entry.req.ArrivalMS,
+		ID: entry.req.ID, ArrivalMS: entry.req.ArrivalMS,
 		Dropped: true, Lost: true, SLOMiss: true, ExitIndex: -1,
 	}, fm.c.base.Observer)
+	if tr := fm.c.tr; tr != nil {
+		e := obs.At(now, obs.KindLost)
+		e.Req = entry.req.ID
+		tr.Emit(e)
+	}
 }
 
 // onHedge fires at the hedge deadline: a request still unresolved gets
@@ -434,7 +490,7 @@ func (fm *faultMode) onHedge(id int, now float64) {
 	}
 	entry.hedged = true
 	fm.fs.Hedged++
-	fm.send(entry, now, false)
+	fm.send(entry, now, false, obs.KindHedge)
 }
 
 // reject handles a queue-overflow bounce (TF-Serving's bounded queue):
@@ -449,17 +505,19 @@ func (fm *faultMode) reject(r *replicaSim, req workload.Request, now float64) {
 	entry.copies--
 	if entry.attempts < fm.attemptCap() && fm.liveOther(r.idx) {
 		fm.fs.Retried++
-		fm.send(entry, now, false)
+		fm.send(entry, now, false, obs.KindRetry)
 		return
 	}
 	if entry.copies > 0 {
 		return
 	}
 	delete(fm.pending, req.ID)
-	r.st.record(Result{
+	res := Result{
 		ID: req.ID, ArrivalMS: req.ArrivalMS,
 		Dropped: true, SLOMiss: true, ExitIndex: -1,
-	}, r.opts.Observer)
+	}
+	r.st.record(res, r.opts.Observer)
+	fm.c.observeResult(res, r.idx)
 }
 
 // complete arbitrates one copy's outcome from a replica. The first
@@ -479,10 +537,12 @@ func (fm *faultMode) complete(r *replicaSim, res Result) {
 		}
 		delete(fm.pending, res.ID)
 		r.st.record(res, r.opts.Observer)
+		fm.c.observeResult(res, r.idx)
 		return
 	}
 	delete(fm.pending, res.ID)
 	r.st.record(res, r.opts.Observer)
+	fm.c.observeResult(res, r.idx)
 	fm.latQ.Add(res.LatencyMS)
 }
 
@@ -516,12 +576,17 @@ func (fm *faultMode) finish(endMS float64) {
 			fm.fs.DowntimeMS[i] += d
 			fm.fs.Outages.Add(d)
 			fm.downAt[i] = math.NaN()
+			if tr := fm.c.tr; tr != nil {
+				// Balance the open crash span so the trace's down windows
+				// reconcile with DowntimeMS even when the run ends mid-outage.
+				e := obs.At(endMS, obs.KindRestart)
+				e.Replica = i
+				e.DurMS = d
+				tr.Emit(e)
+			}
 		}
 	}
-	if !math.IsNaN(fm.unavailAt) {
-		fm.fs.UnavailMS += endMS - fm.unavailAt
-		fm.unavailAt = math.NaN()
-	}
+	fm.closeUnavail(endMS)
 	if len(fm.pending) == 0 {
 		return
 	}
@@ -533,11 +598,7 @@ func (fm *faultMode) finish(endMS float64) {
 	for _, id := range ids {
 		entry := fm.pending[id]
 		delete(fm.pending, id)
-		fm.fs.Lost++
-		fm.st.record(Result{
-			ID: id, ArrivalMS: entry.req.ArrivalMS,
-			Dropped: true, Lost: true, SLOMiss: true, ExitIndex: -1,
-		}, fm.c.base.Observer)
+		fm.recordLost(entry, endMS)
 	}
 }
 

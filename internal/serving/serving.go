@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/exitsim"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/ramp"
 	"repro/internal/workload"
 )
@@ -94,6 +95,14 @@ type Options struct {
 	// state itself; tests and trace tools that need raw results hook in
 	// here.
 	Observer func(Result)
+	// Trace, when non-nil, collects the request lifecycle (arrive,
+	// enqueue, serve_start, complete, drop — plus the fault and
+	// autoscale kinds on cluster runs) as typed events on the virtual
+	// clock. Nil costs one pointer check per site on the hot path.
+	Trace *obs.Tracer
+	// Timeline, when non-nil, samples queue/throughput gauges at its
+	// tick. Nil costs one pointer check per site, like Trace.
+	Timeline *obs.Timeline
 }
 
 func (o Options) withDefaults() Options {
@@ -278,12 +287,40 @@ func Run(src RequestSource, h Handler, opts Options) *Stats {
 	opts = opts.withDefaults()
 	st := &Stats{Lat: metrics.NewRecorder(opts.Metrics, 4096)}
 	in := &lookahead{src: src}
-	rec := func(r Result) { st.record(r, opts.Observer) }
 
 	now := 0.0 // GPU-free time
 	queue := make([]workload.Request, 0, opts.MaxBatch*4)
 
+	tr, tl := opts.Trace, opts.Timeline
+	rec := func(r Result) {
+		st.record(r, opts.Observer)
+		if tr != nil && r.Dropped {
+			e := obs.At(now, obs.KindDrop)
+			e.Req = r.ID
+			tr.Emit(e)
+		}
+	}
+	// admit traces one arrival joining the queue (or, during catch-up
+	// batching, the forming batch) on the single replica's track.
+	admit := func(req workload.Request, depth int) {
+		if tr == nil {
+			return
+		}
+		e := obs.At(req.ArrivalMS, obs.KindArrive)
+		e.Req = req.ID
+		tr.Emit(e)
+		e.Kind = obs.KindEnqueue
+		e.Replica = 0
+		e.Val = depth
+		tr.Emit(e)
+	}
+
 	for {
+		if tl != nil {
+			tl.CatchUp(now, func() obs.Gauges {
+				return obs.Gauges{Replicas: 1, Live: 1, Queued: len(queue), QueueDepths: []int{len(queue)}}
+			})
+		}
 		// Admit every request that has arrived by `now`.
 		for {
 			next, ok := in.peek()
@@ -293,12 +330,18 @@ func Run(src RequestSource, h Handler, opts Options) *Stats {
 			in.pop()
 			st.noteArrival(next)
 			if opts.Platform == TFServe && len(queue) >= opts.QueueCap {
-				st.record(Result{
+				if tr != nil {
+					e := obs.At(next.ArrivalMS, obs.KindArrive)
+					e.Req = next.ID
+					tr.Emit(e)
+				}
+				rec(Result{
 					ID: next.ID, ArrivalMS: next.ArrivalMS,
 					Dropped: true, SLOMiss: true, ExitIndex: -1,
-				}, opts.Observer)
+				})
 			} else {
 				queue = append(queue, next)
+				admit(next, len(queue))
 			}
 		}
 		if len(queue) == 0 {
@@ -356,6 +399,7 @@ func Run(src RequestSource, h Handler, opts Options) *Stats {
 						in.pop()
 						st.noteArrival(nreq)
 						batch = append(batch, nreq)
+						admit(nreq, len(batch))
 					}
 				}
 			}
@@ -373,9 +417,17 @@ func Run(src RequestSource, h Handler, opts Options) *Stats {
 		start := now
 		dur := h.BatchLatency(b)
 		st.batches.Add(float64(b))
+		if tr != nil {
+			e := obs.At(start, obs.KindServeStart)
+			e.Replica = 0
+			e.Batch = b
+			e.DurMS = dur
+			tr.Emit(e)
+		}
 		for _, req := range batch {
 			out := h.Serve(req.Sample, b)
 			lat := start + out.ServeMS - req.ArrivalMS
+			miss := lat > opts.SLOms
 			st.record(Result{
 				ID:        req.ID,
 				ArrivalMS: req.ArrivalMS,
@@ -384,12 +436,28 @@ func Run(src RequestSource, h Handler, opts Options) *Stats {
 				BatchSize: b,
 				ExitIndex: out.ExitIndex,
 				Correct:   out.Correct,
-				SLOMiss:   lat > opts.SLOms,
+				SLOMiss:   miss,
 			}, opts.Observer)
+			if tr != nil {
+				e := obs.At(req.ArrivalMS+lat, obs.KindComplete)
+				e.Req = req.ID
+				e.Replica = 0
+				e.Batch = b
+				e.LatMS = lat
+				tr.Emit(e)
+			}
+			if tl != nil {
+				tl.Observe(lat, miss)
+			}
 		}
 		now = start + dur
 	}
 
+	if tl != nil {
+		tl.Finish(now, func() obs.Gauges {
+			return obs.Gauges{Replicas: 1, Live: 1, QueueDepths: []int{0}}
+		})
+	}
 	st.finalize()
 	return st
 }

@@ -62,6 +62,16 @@ type Grid struct {
 	// "attempts=2/hedge=95"); the empty spec dispatches once.
 	Retries []string
 
+	// Trace and Timeline turn on observability for every expanded
+	// classification scenario (generative scenarios clear them); they
+	// are run-wide switches, not axes — observability never enters a
+	// scenario's identity, so a traced sweep expands to exactly the
+	// same scenarios and seeds as an untraced one. ObsTickMS sets the
+	// timeline sampling period (0 = obs.DefaultTickMS).
+	Trace     bool
+	Timeline  bool
+	ObsTickMS float64
+
 	// N is the request count per classification scenario; GenN is the
 	// sequence count per generative scenario (generative decoding costs
 	// far more simulated work per item).
@@ -331,6 +341,8 @@ func (g Grid) Expand() ([]core.Scenario, error) {
 																ExitRule: rule, Metrics: mm,
 																RateSchedule: sched, Autoscale: as,
 																Hetero: het, Faults: fr.faults, Retry: fr.retry,
+																Trace: g.Trace, Timeline: g.Timeline,
+																ObsTickMS: g.ObsTickMS,
 															}.Normalize()
 															id := sc.Identity()
 															if seen[id] {

@@ -1,0 +1,115 @@
+package sweep
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// obsGrid is a small mixed grid — single-replica, cluster, reliable,
+// and faulty points — with both observability sinks on.
+func obsGrid() Grid {
+	return Grid{
+		Models:    []string{"resnet18"},
+		Workloads: []string{"video-0"},
+		Platforms: []string{"clockwork"},
+		Replicas:  []int{1, 2},
+		Faults:    []string{"", "crash:r0@1000+400;loss=0.01"},
+		Retries:   []string{"", "attempts=2"},
+		Trace:     true,
+		Timeline:  true,
+		ObsTickMS: 200,
+		N:         600,
+		Seed:      11,
+	}
+}
+
+// TestObsKnobsDoNotChangeIdentity pins the observability axiom at the
+// grid level: a traced grid expands to the same scenarios, identities,
+// and seeds as an untraced one.
+func TestObsKnobsDoNotChangeIdentity(t *testing.T) {
+	traced := obsGrid()
+	plain := traced
+	plain.Trace, plain.Timeline, plain.ObsTickMS = false, false, 0
+	ts, err := traced.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := plain.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != len(ps) {
+		t.Fatalf("traced grid expands to %d scenarios, plain to %d", len(ts), len(ps))
+	}
+	for i := range ts {
+		if ts[i].Identity() != ps[i].Identity() || ts[i].Seed != ps[i].Seed {
+			t.Fatalf("scenario %d: traced (%s, seed %d) != plain (%s, seed %d)",
+				i, ts[i].Identity(), ts[i].Seed, ps[i].Identity(), ps[i].Seed)
+		}
+		if !ts[i].Trace || !ts[i].Timeline || ts[i].ObsTickMS != 200 {
+			t.Fatalf("scenario %d lost its observability knobs: %+v", i, ts[i])
+		}
+	}
+}
+
+// TestObsFilesDeterministicAcrossWorkers is the observability
+// byte-identity gate: a traced sweep at 1 worker and at 8 workers must
+// write identical trace and timeline files for every scenario.
+func TestObsFilesDeterministicAcrossWorkers(t *testing.T) {
+	scs, err := obsGrid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) < 4 {
+		t.Fatalf("obs grid expanded to only %d scenarios", len(scs))
+	}
+	runTo := func(workers int) string {
+		dir := t.TempDir()
+		results := Run(scs, Options{Workers: workers, ObsDir: dir})
+		for _, r := range results {
+			if r.Err != "" {
+				t.Fatalf("scenario %s failed: %s", r.Scenario.Key(), r.Err)
+			}
+		}
+		return dir
+	}
+	d1, d8 := runTo(1), runTo(8)
+	for i := range scs {
+		for _, pat := range []string{"trace_%03d.jsonl", "timeline_%03d.csv"} {
+			name := filepath.Join(d1, fmt.Sprintf(pat, i))
+			b1, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatalf("missing obs file for scenario %d: %v", i, err)
+			}
+			if len(b1) == 0 {
+				t.Fatalf("obs file %s is empty", name)
+			}
+			b8, err := os.ReadFile(filepath.Join(d8, fmt.Sprintf(pat, i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b1) != string(b8) {
+				t.Fatalf("obs file %s differs between -workers 1 and -workers 8", fmt.Sprintf(pat, i))
+			}
+		}
+	}
+}
+
+// TestObsDirUnsetSkipsWriting checks a traced grid with no ObsDir still
+// runs (sinks collected and discarded) and writes nothing.
+func TestObsDirUnsetSkipsWriting(t *testing.T) {
+	sc := core.Scenario{
+		Model: "resnet18", Workload: "video-0", N: 300, Trace: true, Timeline: true,
+	}.Normalize()
+	results := Run([]core.Scenario{sc}, Options{Workers: 2})
+	if results[0].Err != "" {
+		t.Fatalf("traced scenario failed without ObsDir: %s", results[0].Err)
+	}
+	if results[0].Requests != 300 {
+		t.Fatalf("Requests = %d, want 300", results[0].Requests)
+	}
+}

@@ -2,6 +2,9 @@ package sweep
 
 import (
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 
@@ -25,6 +28,14 @@ type Options struct {
 	// but arrive in completion order, which varies run to run — use it
 	// for progress display only, never for output.
 	Progress func(done, total int)
+	// ObsDir, when non-empty, writes each traced scenario's
+	// observability output into that directory: trace_<idx>.jsonl when
+	// the scenario's Trace knob is set, timeline_<idx>.csv when its
+	// Timeline knob is set, where <idx> is the scenario's position in
+	// the expanded (identity-sorted) slice. Index naming keeps the
+	// filenames — and, with the per-scenario seeds, the file bytes —
+	// identical for any worker count. The directory must exist.
+	ObsDir string
 }
 
 // Run executes the scenarios on a bounded worker pool. Results are
@@ -53,7 +64,7 @@ func Run(scenarios []core.Scenario, opts Options) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = runOne(scenarios[i])
+				results[i] = runOne(scenarios[i], i, opts.ObsDir)
 				if opts.Progress != nil {
 					mu.Lock()
 					done++
@@ -72,16 +83,58 @@ func Run(scenarios []core.Scenario, opts Options) []Result {
 }
 
 // runOne executes a single scenario, converting panics into per-scenario
-// errors so one pathological grid point cannot take down a sweep.
-func runOne(sc core.Scenario) (out Result) {
+// errors so one pathological grid point cannot take down a sweep. When
+// the scenario asks for observability and obsDir is set, the sinks are
+// written as idx-named files alongside the run.
+func runOne(sc core.Scenario, idx int, obsDir string) (out Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			out = Result{Result: core.Result{Scenario: sc}, Err: fmt.Sprintf("panic: %v", r)}
 		}
 	}()
-	res, err := core.RunScenario(sc)
+	if obsDir == "" || (!sc.Trace && !sc.Timeline) {
+		res, err := core.RunScenario(sc)
+		if err != nil {
+			return Result{Result: core.Result{Scenario: sc}, Err: err.Error()}
+		}
+		return Result{Result: *res}
+	}
+	res, od, err := core.RunScenarioObs(sc)
 	if err != nil {
 		return Result{Result: core.Result{Scenario: sc}, Err: err.Error()}
 	}
+	if err := writeObs(od, obsDir, idx); err != nil {
+		return Result{Result: *res, Err: err.Error()}
+	}
 	return Result{Result: *res}
+}
+
+// writeObs writes a scenario's observability sinks into dir under
+// deterministic index-derived names.
+func writeObs(od *core.ObsData, dir string, idx int) error {
+	if od.Trace != nil {
+		name := filepath.Join(dir, fmt.Sprintf("trace_%03d.jsonl", idx))
+		if err := writeSink(name, od.Trace.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	if od.Timeline != nil {
+		name := filepath.Join(dir, fmt.Sprintf("timeline_%03d.csv", idx))
+		if err := writeSink(name, od.Timeline.WriteCSV); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSink(name string, write func(io.Writer) error) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,6 +1,14 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-cluster bench-faults bench-obs sweep-smoke mem-smoke golden ci
+.PHONY: build test vet race bench bench-cluster bench-faults bench-obs bench-stream bench-all sweep-smoke mem-smoke golden ci
+
+# Stamps the measurement provenance — commit, toolchain, machine — into
+# a freshly regenerated BENCH_*.json, so numbers from different epochs
+# are never compared without knowing what produced them.
+bench_meta = printf '  "commit": "%s",\n  "go": "%s %s/%s",\n  "machine": "%s (%s cpu)",\n' \
+	"$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+	"$$($(GO) env GOVERSION)" "$$($(GO) env GOOS)" "$$($(GO) env GOARCH)" \
+	"$$(sed -n 's/^model name[[:space:]]*: //p' /proc/cpuinfo | head -1)" "$$(nproc)" >> $(1)
 
 build:
 	$(GO) build ./...
@@ -14,8 +22,14 @@ vet:
 # Race-detector pass over the concurrent sweep engine (and the layers
 # it drives: the event engine, the cluster runtime, the autoscaled
 # path, and the observability sinks sweep workers write in parallel).
+# The serving tests include the sharded-runtime suite, so shards>1
+# engine loops run under the detector; the trailing sweep run crosses
+# sharded scenarios with parallel sweep workers end to end.
 race:
 	$(GO) test -race ./internal/sweep/... ./internal/serving/... ./internal/autoscale/... ./internal/core/... ./internal/engine/... ./internal/faults/... ./internal/obs/...
+	$(GO) run -race ./cmd/apparate-sweep -models resnet18,resnet50 -workloads video-0 \
+		-replicas 4 -dispatch round-robin -shards 4 -n 1500 -seed 5 -quiet >/dev/null
+	@echo "race: clean (incl. shards=4 engine loops under parallel sweep workers)"
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -40,10 +54,31 @@ define BENCH_CLUSTER_BEFORE
 endef
 export BENCH_CLUSTER_BEFORE
 
+# Pre-pooling epoch: the single-pass event engine, but with a closure
+# allocated per scheduled event, copy-shifted replica queues, and a
+# fresh sketch per observability window — ~1 allocation per request.
+define BENCH_CLUSTER_BEFORE_ZERO_ALLOC
+  "before_zero_alloc": {
+    "commit": "c0cfe3e (closure-per-event engine, copy-shifted queues)",
+    "machine": "Intel Xeon @ 2.70GHz, go1.24, linux/amd64",
+    "results": [
+      {"case": "dispatch=round-robin/replicas=1", "iters": 5, "ns_per_op": 22275084, "bytes_per_op": 9771104, "allocs_per_op": 100056},
+      {"case": "dispatch=round-robin/replicas=4", "iters": 5, "ns_per_op": 22862991, "bytes_per_op": 10566688, "allocs_per_op": 100139},
+      {"case": "dispatch=round-robin/replicas=16", "iters": 5, "ns_per_op": 30721242, "bytes_per_op": 11594944, "allocs_per_op": 100404},
+      {"case": "dispatch=least-loaded/replicas=1", "iters": 5, "ns_per_op": 21617522, "bytes_per_op": 9771104, "allocs_per_op": 100056},
+      {"case": "dispatch=least-loaded/replicas=4", "iters": 5, "ns_per_op": 24769247, "bytes_per_op": 9870656, "allocs_per_op": 100076},
+      {"case": "dispatch=least-loaded/replicas=16", "iters": 5, "ns_per_op": 34821759, "bytes_per_op": 10965280, "allocs_per_op": 100215}
+    ]
+  },
+endef
+export BENCH_CLUSTER_BEFORE_ZERO_ALLOC
+
 bench-cluster:
 	$(GO) test -run '^$$' -bench BenchmarkClusterScaling -benchtime 5x . | tee /tmp/bench_cluster.txt
-	@printf '{\n  "description": "BenchmarkClusterScaling: serving.RunCluster over 100k requests at constant per-replica load (aggregate rate scales with replicas). Regenerate with make bench-cluster; before_engine_refactor preserves the pre-engine per-replica-replay numbers.",\n' > BENCH_cluster.json
+	@printf '{\n  "description": "BenchmarkClusterScaling: serving.RunCluster over 100k requests at constant per-replica load (aggregate rate scales with replicas). Regenerate with make bench-cluster; before_engine_refactor preserves the pre-engine per-replica-replay numbers, before_zero_alloc the pre-pooling closure-per-event numbers. shards=4 rows run the same scenario over 4 parallel engine loops (byte-identical results; wall-clock gain needs cores).",\n' > BENCH_cluster.json
+	@$(call bench_meta,BENCH_cluster.json)
 	@echo "$$BENCH_CLUSTER_BEFORE" >> BENCH_cluster.json
+	@echo "$$BENCH_CLUSTER_BEFORE_ZERO_ALLOC" >> BENCH_cluster.json
 	@awk 'BEGIN { printf("  \"results\": [\n") } \
 	  /^BenchmarkClusterScaling\// { sub(/^BenchmarkClusterScaling\//, "", $$1); sub(/-[0-9]+$$/, "", $$1); printf("%s    {\"case\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, $$1, $$2, $$3, $$5, $$7); sep=",\n" } \
 	  END { printf("\n  ]\n}\n") }' /tmp/bench_cluster.txt >> BENCH_cluster.json
@@ -52,9 +87,30 @@ bench-cluster:
 # Fault-injection overhead benchmark (faults=off vs a full churn +
 # delay + loss + retry stack at 1/4/16 replicas, 100k requests)
 # emitted as BENCH_faults.json.
+
+# Pre-pooling epoch: per-request arbiter map entries and a closure per
+# fault event put the faulty path at ~4 allocations per request.
+define BENCH_FAULTS_BEFORE_ZERO_ALLOC
+  "before_zero_alloc": {
+    "commit": "c0cfe3e (map-based fault arbiter, closure-per-event engine)",
+    "machine": "Intel Xeon @ 2.70GHz, go1.24, linux/amd64",
+    "results": [
+      {"case": "faults=off/replicas=1", "iters": 5, "ns_per_op": 23016014, "bytes_per_op": 9771232, "allocs_per_op": 100057},
+      {"case": "faults=off/replicas=4", "iters": 5, "ns_per_op": 25326539, "bytes_per_op": 9870928, "allocs_per_op": 100080},
+      {"case": "faults=off/replicas=16", "iters": 5, "ns_per_op": 35800302, "bytes_per_op": 10966128, "allocs_per_op": 100231},
+      {"case": "faults=faulty/replicas=1", "iters": 5, "ns_per_op": 58594558, "bytes_per_op": 23550323, "allocs_per_op": 400967},
+      {"case": "faults=faulty/replicas=4", "iters": 5, "ns_per_op": 63766901, "bytes_per_op": 23872683, "allocs_per_op": 400690},
+      {"case": "faults=faulty/replicas=16", "iters": 5, "ns_per_op": 94661094, "bytes_per_op": 24254846, "allocs_per_op": 400929}
+    ]
+  },
+endef
+export BENCH_FAULTS_BEFORE_ZERO_ALLOC
+
 bench-faults:
 	$(GO) test -run '^$$' -bench BenchmarkFaultInjection -benchtime 5x . | tee /tmp/bench_faults.txt
-	@printf '{\n  "description": "BenchmarkFaultInjection: serving.RunCluster over 100k requests at constant per-replica load, reliable (faults=off) vs mtbf:20000/1000;delaydist=exp:1;loss=0.001 with attempts=3 retries. faults=off should track BenchmarkClusterScaling; the faulty rows bound the per-request cost of a chaos study. Regenerate with make bench-faults.",\n' > BENCH_faults.json
+	@printf '{\n  "description": "BenchmarkFaultInjection: serving.RunCluster over 100k requests at constant per-replica load, reliable (faults=off) vs mtbf:20000/1000;delaydist=exp:1;loss=0.001 with attempts=3 retries. faults=off should track BenchmarkClusterScaling; the faulty rows bound the per-request cost of a chaos study. Regenerate with make bench-faults; before_zero_alloc preserves the pre-pooling map-arbiter numbers.",\n' > BENCH_faults.json
+	@$(call bench_meta,BENCH_faults.json)
+	@echo "$$BENCH_FAULTS_BEFORE_ZERO_ALLOC" >> BENCH_faults.json
 	@awk 'BEGIN { printf("  \"results\": [\n") } \
 	  /^BenchmarkFaultInjection\// { sub(/^BenchmarkFaultInjection\//, "", $$1); sub(/-[0-9]+$$/, "", $$1); printf("%s    {\"case\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, $$1, $$2, $$3, $$5, $$7); sep=",\n" } \
 	  END { printf("\n  ]\n}\n") }' /tmp/bench_faults.txt >> BENCH_faults.json
@@ -65,13 +121,95 @@ bench-faults:
 # BENCH_obs.json. The obs=off row is the zero-cost-when-off gate: it
 # must track BENCH_cluster.json's round-robin/replicas=4 row within
 # noise, with identical allocs/op.
+# Pre-pooling epoch: a fresh sketch per timeline window and a fresh
+# QueueDepths slice per tick row put trace+timeline 25k allocs over the
+# untraced run.
+define BENCH_OBS_BEFORE_ZERO_ALLOC
+  "before_zero_alloc": {
+    "commit": "c0cfe3e (per-window sketch and per-tick gauge allocations)",
+    "machine": "Intel Xeon @ 2.70GHz, go1.24, linux/amd64",
+    "results": [
+      {"case": "obs=off/replicas=4", "iters": 5, "ns_per_op": 22680384, "bytes_per_op": 10567072, "allocs_per_op": 100143},
+      {"case": "obs=trace/replicas=4", "iters": 5, "ns_per_op": 149499795, "bytes_per_op": 210101816, "allocs_per_op": 100180},
+      {"case": "obs=trace+timeline/replicas=4", "iters": 5, "ns_per_op": 286993129, "bytes_per_op": 453130648, "allocs_per_op": 125207}
+    ]
+  },
+endef
+export BENCH_OBS_BEFORE_ZERO_ALLOC
+
 bench-obs:
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 5x . | tee /tmp/bench_obs.txt
-	@printf '{\n  "description": "BenchmarkObsOverhead: serving.RunCluster over 100k requests on 4 replicas, untraced vs lifecycle trace vs trace+timeline. obs=off must match BENCH_cluster.json dispatch=round-robin/replicas=4 within noise and add zero allocs/op (every emission site is one nil check); the traced rows bound the cost of a fully observed study. Regenerate with make bench-obs.",\n' > BENCH_obs.json
+	@printf '{\n  "description": "BenchmarkObsOverhead: serving.RunCluster over 100k requests on 4 replicas, untraced vs lifecycle trace vs trace+timeline. obs=off must match BENCH_cluster.json dispatch=round-robin/replicas=4 within noise and add zero allocs/op (every emission site is one nil check); the traced rows bound the cost of a fully observed study. Regenerate with make bench-obs; before_zero_alloc preserves the pre-pooling per-window-allocation numbers.",\n' > BENCH_obs.json
+	@$(call bench_meta,BENCH_obs.json)
+	@echo "$$BENCH_OBS_BEFORE_ZERO_ALLOC" >> BENCH_obs.json
 	@awk 'BEGIN { printf("  \"results\": [\n") } \
 	  /^BenchmarkObsOverhead\// { sub(/^BenchmarkObsOverhead\//, "", $$1); sub(/-[0-9]+$$/, "", $$1); printf("%s    {\"case\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, $$1, $$2, $$3, $$5, $$7); sep=",\n" } \
 	  END { printf("\n  ]\n}\n") }' /tmp/bench_obs.txt >> BENCH_obs.json
 	@echo "bench-obs: wrote BENCH_obs.json"
+
+# Streaming-pipeline record: the materializing-vs-streaming history is
+# frozen below (those epochs predate the current code and cannot be
+# re-measured); bench-stream re-measures only the current 1M-request
+# end-to-end row.
+define BENCH_STREAM_HISTORY
+  "before": {
+    "commit": "5b14a8b (materializing pipeline)",
+    "scenario_100k": {
+      "n": 100000,
+      "metrics": "exact (only mode)",
+      "time_ms": 575,
+      "bytes_allocated": 71858808
+    },
+    "scenario_1m": {
+      "n": 1000000,
+      "note": "not runnable under GOMEMLIMIT=256MiB: trace + 2x result slices + 2x latency slices exceed the limit (>400 MB live)"
+    }
+  },
+  "after_streaming": {
+    "commit": "streaming pipeline refactor",
+    "machine": "Intel Xeon @ 2.10GHz, go1.24, linux/amd64",
+    "scenario_100k_exact": {
+      "n": 100000,
+      "metrics": "exact",
+      "time_ms": 508,
+      "bytes_allocated": 63317728
+    },
+    "scenario_100k_sketch": {
+      "n": 100000,
+      "metrics": "sketch",
+      "time_ms": 505,
+      "bytes_allocated": 53501136
+    },
+    "scenario_1m_sketch": {
+      "n": 1000000,
+      "metrics": "sketch",
+      "time_ms": 4954,
+      "peak_live_heap_bytes": 4089446,
+      "note": "peak live heap is O(queue + handlers + sketches), independent of trace length; verified by TestStreamingMillionBoundedMemory under GOMEMLIMIT=256MiB (make mem-smoke)"
+    }
+  },
+  "dist_interleaved_microbench": {
+    "workload": "200 bursts of 100 Adds, one Percentile(99) query per burst (20k samples)",
+    "naive_full_resort_ns_per_op": 139174386,
+    "merge_sorted_runs_ns_per_op": 4192997,
+    "speedup": "33x"
+  },
+endef
+export BENCH_STREAM_HISTORY
+
+bench-stream:
+	$(GO) test -run '^$$' -bench BenchmarkStreamingMillion -benchtime 1x . | tee /tmp/bench_stream.txt
+	@printf '{\n  "description": "Streaming-pipeline record for core.RunScenario (vanilla + Apparate runs) on resnet18/video-0, seed 1. The results row is the current 1M-request sketch-mode scheduled-rate scenario end to end (BenchmarkStreamingMillion, 1 iteration); before/after_streaming freeze the materializing-pipeline history. Regenerate with make bench-stream.",\n' > BENCH_stream.json
+	@$(call bench_meta,BENCH_stream.json)
+	@echo "$$BENCH_STREAM_HISTORY" >> BENCH_stream.json
+	@awk 'BEGIN { printf("  \"results\": [\n") } \
+	  /^BenchmarkStreamingMillion/ { sub(/-[0-9]+$$/, "", $$1); printf("%s    {\"case\": \"streaming_1m_sketch\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, $$2, $$3, $$5, $$7); sep=",\n" } \
+	  END { printf("\n  ]\n}\n") }' /tmp/bench_stream.txt >> BENCH_stream.json
+	@echo "bench-stream: wrote BENCH_stream.json"
+
+# Regenerate every BENCH_*.json in one shot, all stamped with the same
+# commit/machine metadata.
+bench-all: bench-cluster bench-faults bench-obs bench-stream
 
 # A 24+-scenario mixed grid at -workers 8, then the determinism gate:
 # the same grid at -workers 1 must emit byte-identical JSON.
@@ -105,6 +243,14 @@ OBS_FLAGS = -models resnet18,resnet50 -workloads video-0,video-1 \
 	-replicas 1,2 -faults 'crash:r0@2000+800;loss=0.002' \
 	-retry attempts=2 -n 1500 -seed 6 -quiet
 
+# Sharded-execution grid (round-robin multi-replica points, exact and
+# sketch recorders): -shards 4 splits each scenario over four parallel
+# engine loops and must emit byte-identical JSON to the serial run —
+# sharding is an execution knob, never a results knob.
+SHARDS_FLAGS = -models resnet18,resnet50 -workloads video-0,video-1 \
+	-replicas 2,4 -dispatch round-robin -metrics exact,sketch \
+	-n 1500 -seed 5 -quiet
+
 sweep-smoke:
 	$(GO) run ./cmd/apparate-sweep $(SMOKE_FLAGS) -workers 8 -out /tmp/sweep-w8.json
 	$(GO) run ./cmd/apparate-sweep $(SMOKE_FLAGS) -workers 1 -out /tmp/sweep-w1.json >/dev/null
@@ -126,14 +272,21 @@ sweep-smoke:
 	$(GO) run ./cmd/apparate-sweep $(OBS_FLAGS) -obs-dir /tmp/sweep-obs-w1 -workers 1 -out /tmp/sweep-obs-w1.json >/dev/null
 	cmp /tmp/sweep-obs-w1.json /tmp/sweep-obs-w8.json
 	diff -r /tmp/sweep-obs-w1 /tmp/sweep-obs-w8
-	@echo "sweep-smoke: deterministic across worker counts (exact + sketch, incl. autoscale, faulty, and traced grids)"
+	$(GO) run ./cmd/apparate-sweep $(SHARDS_FLAGS) -workers 8 -out /tmp/sweep-sh1.json >/dev/null
+	$(GO) run ./cmd/apparate-sweep $(SHARDS_FLAGS) -shards 4 -workers 8 -out /tmp/sweep-sh4.json >/dev/null
+	cmp /tmp/sweep-sh1.json /tmp/sweep-sh4.json
+	@echo "sweep-smoke: deterministic across worker counts (exact + sketch, incl. autoscale, faulty, and traced grids) and shard counts"
 
-# Memory guard: one 1,000,000-request scheduled-rate scenario in sketch
-# mode must complete under a 256 MiB soft heap limit with a bounded live
-# heap — the streaming pipeline's O(1)-memory claim, enforced, including
-# the time-varying arrival source.
+# Memory guard: one 10,000,000-request scheduled-rate scenario in
+# sketch mode must complete under a 256 MiB soft heap limit with a
+# bounded live heap — the streaming pipeline's O(1)-memory claim,
+# enforced at 10x the original 1M gate (the zero-alloc hot path made
+# the extra requests nearly free in both time and allocator pressure),
+# including the time-varying arrival source. Override the request count
+# with APPARATE_MEM_N (e.g. APPARATE_MEM_N=100000000 for a 100M soak).
+APPARATE_MEM_N ?= 10000000
 mem-smoke:
-	GOMEMLIMIT=256MiB APPARATE_MEM_GUARD=1 $(GO) test -run TestStreamingMillionBoundedMemory -v .
+	GOMEMLIMIT=256MiB APPARATE_MEM_GUARD=1 APPARATE_MEM_N=$(APPARATE_MEM_N) $(GO) test -run TestStreamingMillionBoundedMemory -v .
 
 # Refresh the pinned golden sweep CSV (testdata/golden_sweep.csv) after
 # an intentional behavior change; review the diff like code.

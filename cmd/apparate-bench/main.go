@@ -5,6 +5,7 @@
 //	apparate-bench -list
 //	apparate-bench fig12 table2
 //	apparate-bench -cpuprofile cpu.pprof fig12
+//	apparate-bench -count 10 fig12 | tee old.txt   # benchstat old.txt new.txt
 //	apparate-bench all
 package main
 
@@ -21,6 +22,7 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list available experiment ids")
+	count := flag.Int("count", 0, "repeat each experiment N times, emitting one benchstat-compatible line per iteration instead of the tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 	flag.Usage = func() {
@@ -52,6 +54,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *count > 0 {
+		benchstatRun(args, *count)
+		stopProfiles(*cpuprofile, *memprofile)
+		return
+	}
 	for _, id := range args {
 		start := time.Now()
 		tables, err := experiments.Run(id)
@@ -65,6 +72,32 @@ func main() {
 		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
 	stopProfiles(*cpuprofile, *memprofile)
+}
+
+// benchstatRun times each experiment count times and prints results in
+// the `go test -bench` text format, so two runs pipe straight into
+// benchstat for a statistically sound before/after comparison:
+//
+//	apparate-bench -count 10 fig12 > old.txt
+//	<make changes>
+//	apparate-bench -count 10 fig12 > new.txt
+//	benchstat old.txt new.txt
+//
+// Tables are suppressed; each iteration is one Benchmark line.
+func benchstatRun(ids []string, count int) {
+	fmt.Printf("goos: %s\n", runtime.GOOS)
+	fmt.Printf("goarch: %s\n", runtime.GOARCH)
+	fmt.Printf("pkg: repro/internal/experiments\n")
+	fmt.Printf("cpu: GOMAXPROCS=%d\n", runtime.GOMAXPROCS(0))
+	for _, id := range ids {
+		for i := 0; i < count; i++ {
+			start := time.Now()
+			if _, err := experiments.Run(id); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("BenchmarkExperiment/%s \t       1\t%d ns/op\n", id, time.Since(start).Nanoseconds())
+		}
+	}
 }
 
 // stopProfiles finalizes whichever pprof outputs were requested.

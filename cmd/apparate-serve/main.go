@@ -51,6 +51,7 @@ func main() {
 		chromeP   = flag.String("trace-chrome", "", "write the trace in Chrome trace-event format (open in Perfetto or chrome://tracing)")
 		timelineP = flag.String("timeline", "", "write the sampled gauge timeline as CSV to this file")
 		obsTick   = flag.Float64("obs-tick", 0, "timeline sampling period in virtual ms (0 = 100ms default)")
+		shards    = flag.Int("shards", 0, "parallel engine shards for round-robin clusters (0/1 = serial; output is byte-identical either way)")
 	)
 	flag.Parse()
 
@@ -77,6 +78,7 @@ func main() {
 		Trace:        *tracePath != "" || *chromeP != "",
 		Timeline:     *timelineP != "",
 		ObsTickMS:    *obsTick,
+		Shards:       *shards,
 	}
 	if !sc.Trace && !sc.Timeline {
 		res, err := core.RunScenario(sc)

@@ -102,6 +102,13 @@ type Scenario struct {
 	Trace     bool    `json:"trace,omitempty"`
 	Timeline  bool    `json:"timeline,omitempty"`
 	ObsTickMS float64 `json:"obs_tick_ms,omitempty"`
+	// Shards, when > 1, runs the scenario's replica groups on parallel
+	// engine loops with a deterministic merge. It is an execution knob,
+	// not a scenario axis: results are byte-identical at any shard
+	// count (configurations sharding cannot decompose exactly silently
+	// run serial), so Shards never enters Identity or the result JSON
+	// — like Trace/Timeline it cannot shift a seed or an outcome.
+	Shards int `json:"-"`
 }
 
 // Normalize fills defaults and canonicalizes axes that a scenario class
@@ -400,6 +407,9 @@ func (sc Scenario) Validate() error {
 	if sc.ObsTickMS < 0 {
 		return fmt.Errorf("scenario: observability tick %g must be non-negative", sc.ObsTickMS)
 	}
+	if sc.Shards < 0 {
+		return fmt.Errorf("scenario: shard count %d must be non-negative", sc.Shards)
+	}
 	if fs, _ := faults.Parse(sc.Faults); fs != nil {
 		// A clause naming a replica the cluster can never materialize
 		// would silently inject nothing — a reliable run masquerading as
@@ -536,6 +546,7 @@ func runClassScenario(sc Scenario, od *ObsData) (*Result, error) {
 		Replicas: sc.Replicas,
 		Dispatch: dispatch,
 		Speeds:   speeds,
+		Shards:   sc.Shards,
 	}
 	maxReplicas := sc.Replicas
 	if sc.Autoscale != "" {

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunScenarioShardsByteIdentity pins Shards as a pure execution
+// knob: the full marshaled Result — every stat the sweep writes to disk
+// — must be byte-identical with sharding on and off, so a sweep run at
+// any shard count reproduces the committed golden output exactly.
+func TestRunScenarioShardsByteIdentity(t *testing.T) {
+	sc := Scenario{
+		Model: "resnet50", Workload: "video-0", N: 3000, Seed: 7,
+		Replicas: 4, Dispatch: "round-robin",
+	}
+	serial, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Shards = 4
+	sharded, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("sharded Result diverges from serial:\n serial:  %s\n sharded: %s", a, b)
+	}
+}
+
+// Shards must never enter the scenario's identity or key: two runs that
+// differ only in shard count are the same experiment.
+func TestScenarioIdentityExcludesShards(t *testing.T) {
+	a := Scenario{Model: "resnet50", Workload: "video-0", N: 100, Replicas: 4}
+	b := a
+	b.Shards = 8
+	if a.Identity() != b.Identity() {
+		t.Fatal("Identity must not depend on Shards")
+	}
+	if a.Key() != b.Key() {
+		t.Fatal("Key must not depend on Shards")
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate rejected Shards=8: %v", err)
+	}
+	b.Shards = -1
+	if err := b.Validate(); err == nil {
+		t.Fatal("Validate accepted a negative shard count")
+	}
+}

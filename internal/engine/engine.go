@@ -18,6 +18,13 @@
 // Memory is O(pending events), never O(trace): sources schedule one
 // arrival of lookahead at a time, so the heap stays a handful of
 // entries regardless of stream length (the mem-smoke bound).
+//
+// Allocation is O(peak pending events), never O(events fired): events
+// are plain values in the heap slice, so the slice's spare capacity is
+// the freelist — a popped slot is reused by the next Schedule with no
+// per-event allocation. Hot actors implement Handler and schedule
+// (handler, op, arg) triples; the closure-based ScheduleFunc remains
+// for tests and cold paths but allocates an adapter per call.
 package engine
 
 import "fmt"
@@ -30,12 +37,31 @@ import "fmt"
 // the existing ones.
 type Class uint8
 
-// Event is one scheduled callback.
+// Handler receives dispatched events. One long-lived handler serves
+// many events, discriminated by the caller-defined op code and packed
+// arg — the zero-alloc replacement for capturing state in a closure.
+type Handler interface {
+	OnEvent(now float64, op uint8, arg uint64)
+}
+
+// funcEvent adapts a bare closure to Handler for ScheduleFunc. It
+// allocates once per call, which is fine for tests and setup paths but
+// not for per-request scheduling.
+type funcEvent struct {
+	fn func(now float64)
+}
+
+func (f *funcEvent) OnEvent(now float64, _ uint8, _ uint64) { f.fn(now) }
+
+// Event is one scheduled dispatch. Events are values: the heap slice
+// owns them, and popped slots are recycled by later Schedules.
 type event struct {
 	at    float64
-	class Class
 	seq   uint64
-	fn    func(now float64)
+	arg   uint64
+	h     Handler
+	class Class
+	op    uint8
 }
 
 // Loop is a single-threaded discrete-event loop: a virtual clock in
@@ -60,18 +86,27 @@ func (l *Loop) Now() float64 { return l.now }
 // Pending returns the number of scheduled events.
 func (l *Loop) Pending() int { return len(l.heap) }
 
-// Schedule enqueues fn to run at virtual time `at`. Scheduling in the
-// past panics: an actor that reacts to an event it should already have
-// seen is a simulation bug, not a recoverable condition. Events at the
-// current instant are legal and fire after the running callback
-// returns, in (class, scheduling-order) rank.
-func (l *Loop) Schedule(at float64, class Class, fn func(now float64)) {
+// Schedule enqueues h.OnEvent(at, op, arg) at virtual time `at`. This
+// is the zero-alloc path: the event is a value appended into the heap
+// slice's spare capacity, so steady-state scheduling (pop one, push
+// one) never allocates. Scheduling in the past panics: an actor that
+// reacts to an event it should already have seen is a simulation bug,
+// not a recoverable condition. Events at the current instant are legal
+// and fire after the running callback returns, in (class,
+// scheduling-order) rank.
+func (l *Loop) Schedule(at float64, class Class, h Handler, op uint8, arg uint64) {
 	if at < l.now {
 		panic(fmt.Sprintf("engine: scheduling at %g before now %g", at, l.now))
 	}
 	l.seq++
-	l.heap = append(l.heap, event{at: at, class: class, seq: l.seq, fn: fn})
+	l.heap = append(l.heap, event{at: at, class: class, seq: l.seq, h: h, op: op, arg: arg})
 	l.up(len(l.heap) - 1)
+}
+
+// ScheduleFunc enqueues a bare closure. It allocates a small adapter
+// per call — use Schedule with a pre-bound Handler on hot paths.
+func (l *Loop) ScheduleFunc(at float64, class Class, fn func(now float64)) {
+	l.Schedule(at, class, &funcEvent{fn: fn}, 0, 0)
 }
 
 // Process is a simulation actor: Start schedules its initial event(s).
@@ -110,7 +145,7 @@ func (l *Loop) Run() {
 			l.advance(l.now, e.at)
 		}
 		l.now = e.at
-		e.fn(l.now)
+		e.h.OnEvent(l.now, e.op, e.arg)
 	}
 	l.halted = false
 }
@@ -146,7 +181,7 @@ func (l *Loop) pop() event {
 	top := l.heap[0]
 	n := len(l.heap) - 1
 	l.heap[0] = l.heap[n]
-	l.heap[n] = event{} // release the callback for GC
+	l.heap[n].h = nil // release the handler reference; the slot itself is reused
 	l.heap = l.heap[:n]
 	i := 0
 	for {

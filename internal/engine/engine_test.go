@@ -14,11 +14,11 @@ func TestPopOrderDeterministic(t *testing.T) {
 		return func(now float64) { got = append(got, fmt.Sprintf("%s@%g", tag, now)) }
 	}
 	// Insert deliberately out of order.
-	l.Schedule(5, 2, rec("wake"))
-	l.Schedule(5, 1, rec("arr-b"))
-	l.Schedule(2, 1, rec("early"))
-	l.Schedule(5, 0, rec("window"))
-	l.Schedule(5, 1, rec("arr-c")) // same time+class as arr-b: FIFO by schedule order
+	l.ScheduleFunc(5, 2, rec("wake"))
+	l.ScheduleFunc(5, 1, rec("arr-b"))
+	l.ScheduleFunc(2, 1, rec("early"))
+	l.ScheduleFunc(5, 0, rec("window"))
+	l.ScheduleFunc(5, 1, rec("arr-c")) // same time+class as arr-b: FIFO by schedule order
 	l.Run()
 	want := "early@2 window@5 arr-b@5 arr-c@5 wake@5"
 	if s := fmt.Sprint(got); s != "["+want+"]" {
@@ -33,11 +33,11 @@ func TestPopOrderDeterministic(t *testing.T) {
 func TestSameInstantSchedulingRanksByClass(t *testing.T) {
 	l := New()
 	var got []string
-	l.Schedule(3, 2, func(float64) { got = append(got, "wake") })
-	l.Schedule(3, 1, func(float64) {
+	l.ScheduleFunc(3, 2, func(float64) { got = append(got, "wake") })
+	l.ScheduleFunc(3, 1, func(float64) {
 		got = append(got, "arr-1")
 		// Scheduled later than the wake, but class 1 < 2 wins at time 3.
-		l.Schedule(3, 1, func(float64) { got = append(got, "arr-2") })
+		l.ScheduleFunc(3, 1, func(float64) { got = append(got, "arr-2") })
 	})
 	l.Run()
 	if fmt.Sprint(got) != "[arr-1 arr-2 wake]" {
@@ -51,7 +51,7 @@ func TestClockAdvancesMonotonically(t *testing.T) {
 	n := 0
 	var chain func(at float64)
 	chain = func(at float64) {
-		l.Schedule(at, 0, func(now float64) {
+		l.ScheduleFunc(at, 0, func(now float64) {
 			if now < prev {
 				t.Fatalf("clock went backward: %g after %g", now, prev)
 			}
@@ -74,20 +74,20 @@ func TestClockAdvancesMonotonically(t *testing.T) {
 
 func TestSchedulePastPanics(t *testing.T) {
 	l := New()
-	l.Schedule(10, 0, func(now float64) {
+	l.ScheduleFunc(10, 0, func(now float64) {
 		defer func() {
 			if recover() == nil {
 				t.Error("scheduling in the past did not panic")
 			}
 		}()
-		l.Schedule(now-1, 0, func(float64) {})
+		l.ScheduleFunc(now-1, 0, func(float64) {})
 	})
 	l.Run()
 }
 
 func TestRunInsideCallbackPanics(t *testing.T) {
 	l := New()
-	l.Schedule(0, 0, func(float64) {
+	l.ScheduleFunc(0, 0, func(float64) {
 		defer func() {
 			if recover() == nil {
 				t.Error("nested Run did not panic")
@@ -102,7 +102,7 @@ func TestHaltStopsEarly(t *testing.T) {
 	l := New()
 	ran := 0
 	for i := 0; i < 5; i++ {
-		l.Schedule(float64(i), 0, func(now float64) {
+		l.ScheduleFunc(float64(i), 0, func(now float64) {
 			ran++
 			if now == 2 {
 				l.Halt()
@@ -147,12 +147,12 @@ func TestFaultEventInterleaving(t *testing.T) {
 		// the streaming-source shape. Arrivals every 2ms.
 		var arrive func(i int)
 		arrive = func(i int) {
-			l.Schedule(float64(2*i), 0, func(now float64) {
+			l.ScheduleFunc(float64(2*i), 0, func(now float64) {
 				rec(fmt.Sprintf("arr%d", i))(now)
 				// Each arrival requests a wake (hold/timeout style) at the
 				// same instant and one 3ms out.
-				l.Schedule(now, 1, rec(fmt.Sprintf("wake%d", i)))
-				l.Schedule(now+3, 1, rec(fmt.Sprintf("hold%d", i)))
+				l.ScheduleFunc(now, 1, rec(fmt.Sprintf("wake%d", i)))
+				l.ScheduleFunc(now+3, 1, rec(fmt.Sprintf("hold%d", i)))
 				if i < 19 {
 					arrive(i + 1)
 				}
@@ -162,12 +162,12 @@ func TestFaultEventInterleaving(t *testing.T) {
 		// A churn process: crash/restart pairs sharing instants with
 		// arrivals (t=8 collides with arr4, t=20 with arr10).
 		for _, at := range []float64{8, 20, 32} {
-			l.Schedule(at, 2, rec(fmt.Sprintf("crash@%g", at)))
-			l.Schedule(at+4, 2, rec(fmt.Sprintf("restart@%g", at+4)))
+			l.ScheduleFunc(at, 2, rec(fmt.Sprintf("crash@%g", at)))
+			l.ScheduleFunc(at+4, 2, rec(fmt.Sprintf("restart@%g", at+4)))
 		}
 		// Loss-detection timeouts at the same colliding instants.
-		l.Schedule(8, 3, rec("timeout-a"))
-		l.Schedule(20, 3, rec("timeout-b"))
+		l.ScheduleFunc(8, 3, rec("timeout-a"))
+		l.ScheduleFunc(20, 3, rec("timeout-b"))
 		l.Run()
 		return trace, maxPending
 	}
@@ -217,13 +217,13 @@ type ticker struct {
 	fired  int
 }
 
-func (p *ticker) Start(l *Loop) { l.Schedule(0, 0, p.tick(l)) }
+func (p *ticker) Start(l *Loop) { l.ScheduleFunc(0, 0, p.tick(l)) }
 
 func (p *ticker) tick(l *Loop) func(float64) {
 	return func(now float64) {
 		p.fired++
 		if p.left--; p.left > 0 {
-			l.Schedule(now+p.period, 0, p.tick(l))
+			l.ScheduleFunc(now+p.period, 0, p.tick(l))
 		}
 	}
 }
@@ -249,9 +249,9 @@ func TestOnAdvanceHook(t *testing.T) {
 	var steps []step
 	l.OnAdvance(func(prev, now float64) { steps = append(steps, step{prev, now}) })
 	// Two events at t=5 (same instant: one advance), then t=9.
-	l.Schedule(5, 0, func(now float64) {})
-	l.Schedule(5, 1, func(now float64) {})
-	l.Schedule(9, 0, func(now float64) {})
+	l.ScheduleFunc(5, 0, func(now float64) {})
+	l.ScheduleFunc(5, 1, func(now float64) {})
+	l.ScheduleFunc(9, 0, func(now float64) {})
 	l.Run()
 	want := []step{{0, 5}, {5, 9}}
 	if len(steps) != len(want) {
@@ -275,7 +275,7 @@ func TestOnAdvanceSeesPreAdvanceState(t *testing.T) {
 			t.Fatal("advance hook ran after the t=10 event")
 		}
 	})
-	l.Schedule(10, 0, func(now float64) { fired = true })
+	l.ScheduleFunc(10, 0, func(now float64) { fired = true })
 	l.Run()
 	if !fired {
 		t.Fatal("event did not run")
@@ -291,7 +291,7 @@ func TestOnAdvanceDoesNotPerturbOrder(t *testing.T) {
 		var order []float64
 		for _, at := range []float64{3, 1, 2, 2, 5} {
 			at := at
-			l.Schedule(at, 0, func(now float64) { order = append(order, now) })
+			l.ScheduleFunc(at, 0, func(now float64) { order = append(order, now) })
 		}
 		l.Run()
 		return order
@@ -304,5 +304,73 @@ func TestOnAdvanceDoesNotPerturbOrder(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("event order differs at %d: %v vs %v", i, a, b)
 		}
+	}
+}
+
+// countHandler records dispatched (op, arg) pairs and reschedules
+// itself until done — the pre-bound-handler shape hot actors use.
+type countHandler struct {
+	l     *Loop
+	calls []uint64
+	left  int
+}
+
+func (h *countHandler) OnEvent(now float64, op uint8, arg uint64) {
+	h.calls = append(h.calls, uint64(op)<<32|arg)
+	if h.left--; h.left > 0 {
+		h.l.Schedule(now+1, Class(op), h, op, arg+1)
+	}
+}
+
+// TestHandlerSchedule pins the handler API: op and arg round-trip
+// through the heap, and handler events interleave with closure events
+// by the same (time, class, seq) order.
+func TestHandlerSchedule(t *testing.T) {
+	l := New()
+	h := &countHandler{l: l, left: 3}
+	l.Schedule(0, 1, h, 7, 100)
+	var closures []float64
+	l.ScheduleFunc(1, 0, func(now float64) { closures = append(closures, now) })
+	l.Run()
+	want := []uint64{7<<32 | 100, 7<<32 | 101, 7<<32 | 102}
+	if fmt.Sprint(h.calls) != fmt.Sprint(want) {
+		t.Fatalf("handler calls %v, want %v", h.calls, want)
+	}
+	if fmt.Sprint(closures) != "[1]" {
+		t.Fatalf("closure fired at %v, want [1]", closures)
+	}
+}
+
+// selfPump reschedules itself n times without touching any per-event
+// state — the steady-state pop-one-push-one shape.
+type selfPump struct {
+	l    *Loop
+	left int
+}
+
+func (p *selfPump) OnEvent(now float64, op uint8, arg uint64) {
+	if p.left--; p.left > 0 {
+		p.l.Schedule(now+1, 0, p, op, arg)
+	}
+}
+
+// TestScheduleSteadyStateZeroAlloc is the engine's alloc pin: once the
+// heap has grown to its working set, pop-one-push-one scheduling through
+// the handler API allocates nothing. A regression here silently erodes
+// every BENCH_*.json row, so it fails loudly instead.
+func TestScheduleSteadyStateZeroAlloc(t *testing.T) {
+	l := New()
+	p := &selfPump{l: l}
+	// Warm the heap capacity.
+	p.left = 100
+	l.Schedule(0, 0, p, 0, 0)
+	l.Run()
+	avg := testing.AllocsPerRun(10, func() {
+		p.left = 1000
+		l.Schedule(l.Now(), 0, p, 0, 0)
+		l.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state handler scheduling allocates %.1f allocs/run, want 0", avg)
 	}
 }

@@ -216,9 +216,6 @@ type genSim struct {
 	// scheduled, or pending events would grow with the stream instead
 	// of staying bounded by the slot count.
 	armAt float64
-	// pumpFn caches the pump method value so arming an arrival does not
-	// allocate a closure per event.
-	pumpFn func(now float64)
 
 	stats        *Stats
 	sumRate      float64
@@ -227,11 +224,26 @@ type genSim struct {
 	lastDone     float64
 }
 
+// Engine-event op codes dispatched to genSim.OnEvent.
+const (
+	opPump     uint8 = iota // an arrival instant: admit what fits
+	opSlotFree              // a sequence finished: free its slot, pump
+)
+
+// OnEvent dispatches engine events; genSim is its own pre-bound
+// handler, so arming an arrival or a slot completion never allocates.
+func (g *genSim) OnEvent(now float64, op uint8, _ uint64) {
+	if op == opSlotFree {
+		g.free++
+	}
+	g.pump(now)
+}
+
 // Start schedules the first arrival; genSim is an engine.Process.
 func (g *genSim) Start(l *engine.Loop) {
 	if g.has {
 		g.armAt = g.next.ArrivalMS
-		l.Schedule(g.next.ArrivalMS, classArrival, g.pumpFn)
+		l.Schedule(g.next.ArrivalMS, classArrival, g, opPump, 0)
 	}
 }
 
@@ -255,7 +267,7 @@ func (g *genSim) pump(now float64) {
 	}
 	if g.has && g.next.ArrivalMS > now && g.next.ArrivalMS < g.armAt {
 		g.armAt = g.next.ArrivalMS
-		g.loop.Schedule(g.next.ArrivalMS, classArrival, g.pumpFn)
+		g.loop.Schedule(g.next.ArrivalMS, classArrival, g, opPump, 0)
 	}
 }
 
@@ -268,10 +280,7 @@ func (g *genSim) admit(req workload.GenRequest, now float64) {
 	g.free--
 	tokens, decodeMS := g.e.decodeSequence(req, g.pol)
 	done := now + g.e.prefillMS(req.PromptLen) + decodeMS
-	g.loop.Schedule(done, classSlotFree, func(t float64) {
-		g.free++
-		g.pump(t)
-	})
+	g.loop.Schedule(done, classSlotFree, g, opSlotFree, 0)
 	match := 0
 	for _, tk := range tokens {
 		if tk.Match {
@@ -313,7 +322,6 @@ func (e *Engine) Run(stream *workload.GenStream, pol Policy) *Stats {
 		armAt: math.Inf(1),
 		stats: &Stats{TPTRec: metrics.NewRecorder(e.Metrics, 4096)},
 	}
-	g.pumpFn = g.pump
 	if r, ok := g.it.Next(); ok {
 		g.next, g.has = r, true
 	}

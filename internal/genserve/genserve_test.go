@@ -233,7 +233,6 @@ func TestRunBoundedPendingEvents(t *testing.T) {
 		armAt: math.Inf(1),
 		stats: &Stats{TPTRec: metrics.NewRecorder(e.Metrics, 4096)},
 	}
-	g.pumpFn = g.pump
 	if r, ok := g.it.Next(); ok {
 		g.next, g.has = r, true
 	}
@@ -244,11 +243,11 @@ func TestRunBoundedPendingEvents(t *testing.T) {
 			maxPending = p
 		}
 		if g.has || g.free < e.MaxConcurrent {
-			g.loop.Schedule(now+50, 2, monitor)
+			g.loop.ScheduleFunc(now+50, 2, monitor)
 		}
 	}
 	g.loop.Add(g)
-	g.loop.Schedule(0, 2, monitor)
+	g.loop.ScheduleFunc(0, 2, monitor)
 	g.loop.Run()
 	if g.stats.Seqs != 400 {
 		t.Fatalf("served %d sequences, want 400", g.stats.Seqs)

@@ -47,6 +47,14 @@ func NewSketch() *Sketch {
 	return &Sketch{counts: make([]uint64, sketchBins)}
 }
 
+// Reset empties the sketch in place, reusing the bin array — the
+// hot-path alternative to allocating a fresh NewSketch per window.
+func (s *Sketch) Reset() {
+	clear(s.counts)
+	s.low, s.count = 0, 0
+	s.sum, s.min, s.max = 0, 0, 0
+}
+
 // Add appends one sample.
 func (s *Sketch) Add(v float64) {
 	if s.count == 0 || v < s.min {

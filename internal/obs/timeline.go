@@ -102,7 +102,7 @@ func (tl *Timeline) CatchUp(nowMS float64, snap func() Gauges) {
 		}
 		tl.Rows = append(tl.Rows, row)
 		tl.winDone, tl.winGood = 0, 0
-		tl.winLat = metrics.NewSketch()
+		tl.winLat.Reset()
 		tl.nextTick += tl.TickMS
 	}
 }
@@ -122,7 +122,7 @@ func (tl *Timeline) Finish(nowMS float64, snap func() Gauges) {
 	}
 	tl.Rows = append(tl.Rows, row)
 	tl.winDone, tl.winGood = 0, 0
-	tl.winLat = metrics.NewSketch()
+	tl.winLat.Reset()
 }
 
 // csvHeader is the fixed column set of WriteCSV.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/autoscale"
 	"repro/internal/engine"
@@ -151,6 +152,14 @@ type ClusterOptions struct {
 	// too, untagged). Results that never reached a replica (Lost) fire
 	// Options.Observer only.
 	ReplicaObserver func(replica int, r Result)
+	// Shards, when > 1, runs the scenario's replica groups on that many
+	// independent engine loops in parallel, merged deterministically so
+	// the output is byte-identical to the serial run. Sharding is only
+	// exact for round-robin dispatch on a fixed-width reliable cluster
+	// (every other configuration couples replicas through shared state
+	// at dispatch time); unshardable configurations silently run serial,
+	// so Shards never changes results — it only changes wall-clock.
+	Shards int
 }
 
 // ClusterStats aggregates a cluster run.
@@ -220,7 +229,14 @@ type replicaSim struct {
 	st      *Stats
 	opts    Options
 
+	// queue[qhead:] is the live queue. Consumption advances qhead
+	// instead of re-slicing the front off, which would strand the
+	// array's spare capacity and force one allocation per admitted
+	// request; onWake compacts the dead prefix back to the front once
+	// it outgrows the live tail, so memory stays O(peak queue) and
+	// steady-state admission is allocation-free.
 	queue     []workload.Request
+	qhead     int
 	busyUntil float64
 	inflight  int
 	// down marks a crashed replica (fault injection only): it receives
@@ -233,11 +249,16 @@ type replicaSim struct {
 	// dedup wake events so a hold or timeout wait schedules one event,
 	// not one per evaluation.
 	wakeAt float64
-	// wakeFn and recordFn cache method values so scheduling a wake or
-	// recording a batch does not allocate a closure per event.
-	wakeFn   func(now float64)
+	// recordFn caches the record method value so batch picking does not
+	// allocate a closure per batch.
 	recordFn func(Result)
 }
+
+// q returns the live queued requests.
+func (r *replicaSim) q() []workload.Request { return r.queue[r.qhead:] }
+
+// qlen is the live queue depth.
+func (r *replicaSim) qlen() int { return len(r.queue) - r.qhead }
 
 // record routes one copy's outcome: straight into the replica's Stats,
 // or — under fault injection — through the dispatcher's arbiter, which
@@ -279,7 +300,7 @@ func (c *clusterSim) observeResult(res Result, idx int) {
 // enqueue admits one dispatched arrival at time now.
 func (r *replicaSim) enqueue(req workload.Request, now float64) {
 	r.st.noteArrival(req)
-	if r.opts.Platform == TFServe && len(r.queue) >= r.opts.QueueCap {
+	if r.opts.Platform == TFServe && r.qlen() >= r.opts.QueueCap {
 		if r.c.fm != nil {
 			// Queue overflow under fault mode: the dispatcher may retry
 			// the rejected copy on another replica.
@@ -292,12 +313,16 @@ func (r *replicaSim) enqueue(req workload.Request, now float64) {
 		})
 		return
 	}
+	// Appends only ever extend the array (no compaction here): a batch
+	// being served aliases the region before qhead, and fault-mode
+	// completions can re-enter enqueue mid-batch, so moving live
+	// entries is only safe at wake time.
 	r.queue = append(r.queue, req)
 	if tr := r.c.tr; tr != nil {
 		e := obs.At(now, obs.KindEnqueue)
 		e.Req = req.ID
 		e.Replica = r.idx
-		e.Val = len(r.queue)
+		e.Val = r.qlen()
 		tr.Emit(e)
 	}
 	if r.busyUntil < now {
@@ -316,8 +341,13 @@ func (r *replicaSim) scheduleWake(at float64) {
 		return
 	}
 	r.wakeAt = at
-	r.c.loop.Schedule(at, classWake, r.wakeFn)
+	r.c.loop.Schedule(at, classWake, r, 0, 0)
 }
+
+// OnEvent dispatches the replica's engine events; replicas are their
+// own pre-bound handlers (wakes are their only event kind), so
+// scheduling a wake never allocates.
+func (r *replicaSim) OnEvent(now float64, _ uint8, _ uint64) { r.onWake(now) }
 
 // onWake re-evaluates the batching policy at time now. Wakes are
 // idempotent: a stale wake observing a busy GPU (a batch formed since
@@ -334,13 +364,24 @@ func (r *replicaSim) onWake(now float64) {
 		return // serving; the completion wake re-evaluates
 	}
 	r.inflight = 0
-	if len(r.queue) == 0 {
+	if r.qlen() == 0 {
+		if r.qhead > 0 {
+			// Empty: rewind to the front so appends reuse the capacity.
+			r.queue, r.qhead = r.queue[:0], 0
+		}
 		return
+	}
+	// No batch aliases the dead prefix at wake time, so this is the one
+	// safe place to reclaim it; compacting only once the prefix
+	// outgrows the live tail keeps the copy cost amortized O(1).
+	if r.qhead > r.qlen() {
+		n := copy(r.queue, r.queue[r.qhead:])
+		r.queue, r.qhead = r.queue[:n], 0
 	}
 	switch r.opts.Platform {
 	case Clockwork:
-		batch, rest := clockworkPick(r.queue, r.recordFn, now, r.h, r.opts)
-		r.queue = rest
+		batch, rest := clockworkPick(r.q(), r.recordFn, now, r.h, r.opts)
+		r.qhead = len(r.queue) - len(rest)
 		if batch == nil {
 			return // everything queued was hopeless and dropped
 		}
@@ -362,7 +403,10 @@ func (r *replicaSim) onWake(now float64) {
 						hold = 0
 					}
 					if oldestWait+hold+r.h.BatchLatency(len(batch)+1) <= r.opts.SLOms {
-						r.queue = batch // hold: put the batch back
+						// Hold: put the batch back. It is the tail of the
+						// array (rest was empty), so rewinding qhead
+						// restores it in place.
+						r.qhead = len(r.queue) - len(batch)
 						r.scheduleWake(tNext)
 						return
 					}
@@ -372,11 +416,11 @@ func (r *replicaSim) onWake(now float64) {
 		r.serve(batch, now)
 	case TFServe:
 		tNext, more := r.c.nextArrival()
-		batch, rest, _ := tfservePick(r.queue, now, more, tNext, r.opts)
+		batch, rest, _ := tfservePick(r.q(), now, more, tNext, r.opts)
 		if batch == nil {
 			// Waiting: wake at the head's batch-timeout deadline or the
 			// next arrival, whichever comes first.
-			at := r.queue[0].ArrivalMS + r.opts.BatchTimeoutMS
+			at := r.q()[0].ArrivalMS + r.opts.BatchTimeoutMS
 			if more && tNext < at {
 				at = tNext
 			}
@@ -386,7 +430,7 @@ func (r *replicaSim) onWake(now float64) {
 			r.scheduleWake(at)
 			return
 		}
-		r.queue = rest
+		r.qhead = len(r.queue) - len(rest)
 		r.serve(batch, now)
 	}
 }
@@ -435,7 +479,7 @@ func (r *replicaSim) work(now float64) float64 {
 	if w < 0 {
 		w = 0
 	}
-	if n := len(r.queue); n > 0 {
+	if n := r.qlen(); n > 0 {
 		full := n / r.opts.MaxBatch
 		if full > 0 {
 			w += float64(full) * r.h.BatchLatency(r.opts.MaxBatch)
@@ -450,7 +494,7 @@ func (r *replicaSim) work(now float64) float64 {
 // jobs is the number of requests in the replica's system at time now
 // (queued + in-flight) — the join-shortest-queue signal.
 func (r *replicaSim) jobs(now float64) int {
-	n := len(r.queue)
+	n := r.qlen()
 	if r.busyUntil > now {
 		n += r.inflight
 	}
@@ -469,11 +513,13 @@ type clusterSim struct {
 	it   *workload.Iter
 	next workload.Request
 	has  bool
-	// arrivalFn caches the onArrival method value so the source does
-	// not allocate a closure per arrival.
-	arrivalFn func(now float64)
 
-	mk       func(i int) Handler
+	mk func(i int) Handler
+	// replicas[i] is replica i; in a sharded-mode worker the slice
+	// still spans every global index but foreign replicas are nil — the
+	// worker replays the full arrival stream (so the round-robin
+	// counter and the one-request lookahead match the serial run
+	// exactly) and simply skips enqueueing arrivals it does not own.
 	replicas []*replicaSim
 	active   int
 	rr       int // round-robin arrival counter
@@ -496,12 +542,28 @@ type clusterSim struct {
 	winLat      *metrics.Sketch
 	peakBacklog float64
 	busy        float64
+
+	// depthArena backs the QueueDepths slices handed to the timeline:
+	// each gauge sample takes the next len(replicas) slots instead of
+	// its own allocation. Retained rows keep old blocks alive; the
+	// arena only ever appends, so handed-out slices never move.
+	depthArena []int
+	// snapAt and snapFn let the advance hook pass a pre-advance
+	// snapshot instant to the timeline without allocating a closure per
+	// clock step.
+	snapAt float64
+	snapFn func() obs.Gauges
 }
+
+// OnEvent dispatches the cluster's engine events; the arrival source is
+// its own pre-bound handler (arrivals are its only event kind), so
+// scheduling the next arrival never allocates.
+func (c *clusterSim) OnEvent(now float64, _ uint8, _ uint64) { c.onArrival(now) }
 
 // Start schedules the first arrival; clusterSim is an engine.Process.
 func (c *clusterSim) Start(l *engine.Loop) {
 	if c.has {
-		l.Schedule(c.next.ArrivalMS, classArrival, c.arrivalFn)
+		l.Schedule(c.next.ArrivalMS, classArrival, c, 0, 0)
 	}
 }
 
@@ -539,8 +601,12 @@ func (c *clusterSim) onArrival(now float64) {
 	}
 	if c.fm != nil {
 		c.fm.dispatchNew(req, now)
+	} else if target := c.dispatch(now); c.replicas[target] == nil {
+		// Sharded-mode worker: another shard owns this arrival. The
+		// dispatch call above already advanced the round-robin counter,
+		// and the stream cursor advances below — all the global state a
+		// foreign arrival touches in the serial run.
 	} else {
-		target := c.dispatch(now)
 		if c.tr != nil {
 			e := obs.At(now, obs.KindDispatch)
 			e.Req = req.ID
@@ -560,7 +626,7 @@ func (c *clusterSim) onArrival(now float64) {
 	}
 
 	if c.has {
-		c.loop.Schedule(c.next.ArrivalMS, classArrival, c.arrivalFn)
+		c.loop.Schedule(c.next.ArrivalMS, classArrival, c, 0, 0)
 	}
 }
 
@@ -652,7 +718,7 @@ func (c *clusterSim) closeWindow() {
 		c.plan.Steps = append(c.plan.Steps, autoscale.Step{AtMS: c.winEnd, Replicas: n})
 		c.setActive(n)
 	}
-	c.winLat = metrics.NewSketch()
+	c.winLat.Reset()
 	c.peakBacklog, c.busy = 0, 0
 	c.winEnd += eff.WindowMS
 }
@@ -675,10 +741,24 @@ func (c *clusterSim) setActive(n int) {
 // (the last processed instant): per-replica queue depths, in-flight
 // batch sizes, live capacity, and parked arrivals.
 func (c *clusterSim) gauges(nowMS float64) obs.Gauges {
-	g := obs.Gauges{Replicas: c.active, QueueDepths: make([]int, len(c.replicas))}
+	n := len(c.replicas)
+	// Carve the sample's depth row out of the arena: retained timeline
+	// rows keep old blocks alive, so a full block is abandoned to them
+	// and replaced rather than grown (growing would move slices already
+	// handed out).
+	if cap(c.depthArena)-len(c.depthArena) < n {
+		size := 1024
+		if size < 4*n {
+			size = 4 * n
+		}
+		c.depthArena = make([]int, 0, size)
+	}
+	start := len(c.depthArena)
+	c.depthArena = c.depthArena[:start+n]
+	g := obs.Gauges{Replicas: c.active, QueueDepths: c.depthArena[start : start+n : start+n]}
 	for i, rep := range c.replicas {
-		g.QueueDepths[i] = len(rep.queue)
-		g.Queued += len(rep.queue)
+		g.QueueDepths[i] = rep.qlen()
+		g.Queued += rep.qlen()
 		if rep.busyUntil > nowMS {
 			g.Inflight += rep.inflight
 		}
@@ -687,7 +767,7 @@ func (c *clusterSim) gauges(nowMS float64) obs.Gauges {
 		}
 	}
 	if c.fm != nil {
-		g.Parked = len(c.fm.parked)
+		g.Parked = c.fm.parkedCount()
 	}
 	return g
 }
@@ -721,7 +801,6 @@ func (c *clusterSim) addReplica(i int) {
 		busyUntil: math.Inf(-1),
 		wakeAt:    math.Inf(1),
 	}
-	rep.wakeFn = rep.onWake
 	rep.recordFn = rep.record
 	c.replicas = append(c.replicas, rep)
 	if c.fm != nil {
@@ -746,6 +825,9 @@ func RunCluster(stream *workload.Stream, makeHandler func(i int) Handler, opts C
 	if opts.Autoscale == nil && opts.Replicas <= 0 {
 		panic("serving: RunCluster needs at least one replica")
 	}
+	if shardable(opts) {
+		return runShardedCluster(stream, makeHandler, opts)
+	}
 	c := &clusterSim{
 		loop: engine.New(),
 		opts: opts,
@@ -753,7 +835,6 @@ func RunCluster(stream *workload.Stream, makeHandler func(i int) Handler, opts C
 		mk:   makeHandler,
 		it:   stream.Iter(),
 	}
-	c.arrivalFn = c.onArrival
 	c.tr, c.tl = c.base.Trace, c.base.Timeline
 	if r, ok := c.it.Next(); ok {
 		c.next, c.has = r, true
@@ -797,8 +878,12 @@ func RunCluster(stream *workload.Stream, makeHandler func(i int) Handler, opts C
 		// the heap: a tick process would extend the clock past the last
 		// real event and shift end-of-run bookkeeping (fault windows clip
 		// at loop.Now()), breaking timeline-on == timeline-off results.
+		// snapFn is bound once; snapAt carries the pre-advance instant so
+		// no per-step closure is needed.
+		c.snapFn = func() obs.Gauges { return c.gauges(c.snapAt) }
 		c.loop.OnAdvance(func(prev, now float64) {
-			c.tl.CatchUp(now, func() obs.Gauges { return c.gauges(prev) })
+			c.snapAt = prev
+			c.tl.CatchUp(now, c.snapFn)
 		})
 	}
 	c.loop.Run()
@@ -822,6 +907,99 @@ func RunCluster(stream *workload.Stream, makeHandler func(i int) Handler, opts C
 		c.fm.finish(c.loop.Now())
 		mergeStats(merged, c.fm.st)
 		cs.Faults = c.fm.fs
+	}
+	merged.finalize()
+	merged.AvgBatch = batches.Mean()
+	cs.Merged = merged
+	return cs
+}
+
+// shardable reports whether sharded execution is exact for this
+// configuration. Round-robin is the one dispatch policy that never
+// reads replica state, so replica groups decouple completely once each
+// shard replays the full arrival stream (the stream cursor and the
+// round-robin counter are the only shared state, and replaying
+// reproduces both). Everything else couples replicas at dispatch time
+// — queue-state policies, the autoscaler's windows, the fault
+// arbiter, retry/hedging — or observes the run through order-sensitive
+// sinks, so those configurations run serial and Shards is a no-op.
+func shardable(opts ClusterOptions) bool {
+	return opts.Shards > 1 &&
+		opts.Replicas > 1 &&
+		opts.Dispatch == RoundRobin &&
+		opts.Autoscale == nil &&
+		opts.Faults.Empty() &&
+		!opts.Retry.Enabled() &&
+		opts.Trace == nil &&
+		opts.Timeline == nil &&
+		opts.Observer == nil &&
+		opts.ReplicaObserver == nil
+}
+
+// runShardedCluster is the parallel mode inside one scenario: replica
+// group g = {i : i % shards == g} runs on its own engine loop in its
+// own goroutine, each replaying the full arrival stream but enqueueing
+// only its own round-robin targets. Because round-robin targets are a
+// pure function of arrival index, every replica sees byte-for-byte the
+// event sequence it would see in the serial run, and the merge below
+// walks replicas in global index order — so the result is identical to
+// the serial run, just faster.
+func runShardedCluster(stream *workload.Stream, makeHandler func(i int) Handler, opts ClusterOptions) *ClusterStats {
+	nrep := opts.Replicas
+	shards := opts.Shards
+	if shards > nrep {
+		shards = nrep
+	}
+	base := opts.Options.withDefaults()
+	// Handlers are built serially in replica order before any shard
+	// runs: creation order matches the serial run exactly and
+	// makeHandler is never called concurrently.
+	handlers := make([]Handler, nrep)
+	for i := range handlers {
+		handlers[i] = makeHandler(i)
+	}
+	sims := make([]*clusterSim, shards)
+	var wg sync.WaitGroup
+	for g := 0; g < shards; g++ {
+		c := &clusterSim{
+			loop: engine.New(),
+			opts: opts,
+			base: base,
+			mk:   func(i int) Handler { return handlers[i] },
+			it:   stream.Iter(),
+		}
+		if r, ok := c.it.Next(); ok {
+			c.next, c.has = r, true
+		}
+		for i := 0; i < nrep; i++ {
+			if i%shards == g {
+				c.addReplica(i)
+			} else {
+				c.replicas = append(c.replicas, nil)
+			}
+		}
+		c.active = nrep
+		sims[g] = c
+		wg.Add(1)
+		go func(c *clusterSim) {
+			defer wg.Done()
+			c.loop.Add(c)
+			c.loop.Run()
+		}(c)
+	}
+	wg.Wait()
+
+	// Merge in global replica order — the same float-addition order as
+	// the serial run's merge loop, so aggregates match bit for bit.
+	cs := &ClusterStats{PerReplica: make([]*Stats, nrep)}
+	merged := &Stats{Lat: metrics.NewRecorder(base.Metrics, 4096)}
+	var batches metrics.Counter
+	for i := 0; i < nrep; i++ {
+		rep := sims[i%shards].replicas[i]
+		rep.st.finalize()
+		cs.PerReplica[i] = rep.st
+		mergeStats(merged, rep.st)
+		batches.Add(rep.st.AvgBatch)
 	}
 	merged.finalize()
 	merged.AvgBatch = batches.Mean()

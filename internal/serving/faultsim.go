@@ -47,11 +47,18 @@ func (f *FaultStats) Downtime() float64 {
 	return total
 }
 
-// pendingReq is the dispatcher's book entry for one not-yet-resolved
+// pendSlot is the dispatcher's book entry for one not-yet-resolved
 // request: how many copies are outstanding (queued, in transit, or
 // lost-but-undetected), how many dispatch attempts it has consumed, and
-// which replicas have been tried (failed-replica exclusion).
-type pendingReq struct {
+// which replicas have been tried (failed-replica exclusion). Slots live
+// in faultMode.pend, a direct-mapped power-of-two table indexed by
+// request ID — request IDs are dense and the outstanding set is a
+// sliding window, so id & (len-1) is collision-free at a table a bit
+// wider than the window, and the table doubles on the rare collision.
+// id == -1 marks a free slot; a recycled slot keeps its tried backing
+// array, so steady-state bookkeeping allocates nothing.
+type pendSlot struct {
+	id       int
 	req      workload.Request
 	attempts int
 	copies   int
@@ -80,11 +87,21 @@ type faultMode struct {
 	churnSeed uint64
 	timeoutMS float64
 
-	pending map[int]*pendingReq
-	// parked holds requests that arrived while zero replicas were live;
-	// they re-dispatch in FIFO order at the next restart.
-	parked   []*pendingReq
+	// pend is the direct-mapped outstanding-request table (see
+	// pendSlot); npend counts live slots. Slot pointers are stable
+	// within one event dispatch — inserts (the only trigger of table
+	// growth) happen only when a fresh arrival enters the runtime.
+	pend  []pendSlot
+	npend int
+	// parked holds the IDs of requests that arrived while zero replicas
+	// were live; they re-dispatch in FIFO order at the next restart. IDs
+	// are never recycled within a run, so an ID whose slot has resolved
+	// simply looks up to nil — the staleness check.
+	parked   []int
 	eligible []int // scratch for pick
+	// churnProcs holds one entry per started churn chain; engine events
+	// address them by index so the chain carries no closure state.
+	churnProcs []churnProc
 	// latQ estimates delivered-latency quantiles for the hedge deadline.
 	latQ *metrics.Sketch
 
@@ -105,7 +122,7 @@ func newFaultMode(c *clusterSim, spec *faults.Spec, retry faults.Retry, seed uin
 		retry:     retry,
 		net:       rng.Labeled(seed, "faults.net"),
 		churnSeed: rng.Labeled(seed, "faults.churn").Uint64(),
-		pending:   map[int]*pendingReq{},
+		pend:      newPendTable(64),
 		latQ:      metrics.NewSketch(),
 		st:        &Stats{Lat: metrics.NewRecorder(c.base.Metrics, 16)},
 		fs:        &FaultStats{Outages: metrics.NewRecorder(c.base.Metrics, 16)},
@@ -121,6 +138,120 @@ func newFaultMode(c *clusterSim, spec *faults.Spec, retry faults.Retry, seed uin
 	return fm
 }
 
+// newPendTable returns a free-marked direct-mapped table of the given
+// power-of-two size.
+func newPendTable(size int) []pendSlot {
+	t := make([]pendSlot, size)
+	for i := range t {
+		t[i].id = -1
+	}
+	return t
+}
+
+// lookup returns the live slot for id, or nil once the request has
+// resolved (or was never pending).
+func (fm *faultMode) lookup(id int) *pendSlot {
+	s := &fm.pend[id&(len(fm.pend)-1)]
+	if s.id != id {
+		return nil
+	}
+	return s
+}
+
+// insert claims a slot for a fresh arrival, doubling the table when the
+// request's home slot is occupied by an older outstanding request.
+// Growth preserves the direct-mapped invariant: IDs distinct mod N are
+// distinct mod 2N, so live entries never collide after rehashing.
+func (fm *faultMode) insert(req workload.Request) *pendSlot {
+	for {
+		s := &fm.pend[req.ID&(len(fm.pend)-1)]
+		if s.id == -1 {
+			s.id = req.ID
+			s.req = req
+			s.attempts, s.copies = 0, 0
+			s.hedged = false
+			s.tried = s.tried[:0]
+			fm.npend++
+			return s
+		}
+		next := newPendTable(2 * len(fm.pend))
+		for i := range fm.pend {
+			if fm.pend[i].id != -1 {
+				next[fm.pend[i].id&(len(next)-1)] = fm.pend[i]
+			}
+		}
+		fm.pend = next
+	}
+}
+
+// del frees id's slot; a no-op if the request already resolved.
+func (fm *faultMode) del(id int) {
+	s := &fm.pend[id&(len(fm.pend)-1)]
+	if s.id == id {
+		s.id = -1
+		fm.npend--
+	}
+}
+
+// parkedCount is the number of arrivals held at the dispatcher.
+func (fm *faultMode) parkedCount() int { return len(fm.parked) }
+
+// churnProc is one replica's MTBF/MTTR chain: the engine addresses it
+// by index, and the chain's exponential draws come from its own rng
+// stream so churn is independent of dispatch order.
+type churnProc struct {
+	replica int
+	ch      faults.Churn
+	r       *rng.Rand
+}
+
+// Engine-event op codes dispatched to faultMode.OnEvent. opDeliver
+// packs its target and request ID into one arg; the others carry a
+// replica index, churn-process index, or request ID directly.
+const (
+	opCrashOnce uint8 = iota
+	opRestartOnce
+	opChurnCrash
+	opChurnRestart
+	opHedge
+	opLossTimeout
+	opDeliver
+)
+
+// deliverIDBits is the arg split for opDeliver: the low 40 bits carry
+// the request ID (IDs are dense stream positions, far below 2^40) and
+// the high bits the target replica.
+const deliverIDBits = 40
+
+// OnEvent dispatches the fault runtime's engine events; faultMode is
+// its own pre-bound handler, so arming a crash, restart, hedge,
+// timeout, or delayed delivery never allocates.
+func (fm *faultMode) OnEvent(now float64, op uint8, arg uint64) {
+	switch op {
+	case opCrashOnce:
+		fm.crash(int(arg), now)
+	case opRestartOnce:
+		fm.restart(int(arg), now)
+	case opChurnCrash:
+		p := &fm.churnProcs[arg]
+		if fm.idle() {
+			return // drained: stop rescheduling, bounding the run
+		}
+		fm.crash(p.replica, now)
+		fm.c.loop.Schedule(now+p.r.Exp(1/p.ch.DownMS), classFault, fm, opChurnRestart, arg)
+	case opChurnRestart:
+		p := &fm.churnProcs[arg]
+		fm.restart(p.replica, now)
+		fm.c.loop.Schedule(now+p.r.Exp(1/p.ch.UpMS), classFault, fm, opChurnCrash, arg)
+	case opHedge:
+		fm.onHedge(int(arg), now)
+	case opLossTimeout:
+		fm.onLossTimeout(int(arg), now)
+	case opDeliver:
+		fm.deliver(int(arg>>deliverIDBits), int(arg&(1<<deliverIDBits-1)), now)
+	}
+}
+
 // Start schedules the spec's one-shot crash/restart pairs; faultMode is
 // an engine.Process. Churn processes start per replica in
 // onReplicaAdded (replicas can be created mid-run by the autoscaler).
@@ -129,9 +260,8 @@ func (fm *faultMode) Start(l *engine.Loop) {
 		return
 	}
 	for _, cr := range fm.spec.Crashes {
-		idx := cr.Replica
-		l.Schedule(cr.AtMS, classFault, func(now float64) { fm.crash(idx, now) })
-		l.Schedule(cr.AtMS+cr.DownMS, classFault, func(now float64) { fm.restart(idx, now) })
+		l.Schedule(cr.AtMS, classFault, fm, opCrashOnce, uint64(cr.Replica))
+		l.Schedule(cr.AtMS+cr.DownMS, classFault, fm, opRestartOnce, uint64(cr.Replica))
 	}
 }
 
@@ -158,25 +288,14 @@ func (fm *faultMode) onReplicaAdded(i int) {
 // bounding the run.
 func (fm *faultMode) startChurn(i int, ch faults.Churn) {
 	r := rng.New(fm.churnSeed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
-	var crashAt func(at float64)
-	crashAt = func(at float64) {
-		fm.c.loop.Schedule(at, classFault, func(now float64) {
-			if fm.idle() {
-				return
-			}
-			fm.crash(i, now)
-			fm.c.loop.Schedule(now+r.Exp(1/ch.DownMS), classFault, func(now float64) {
-				fm.restart(i, now)
-				crashAt(now + r.Exp(1/ch.UpMS))
-			})
-		})
-	}
-	crashAt(fm.c.loop.Now() + r.Exp(1/ch.UpMS))
+	fm.churnProcs = append(fm.churnProcs, churnProc{replica: i, ch: ch, r: r})
+	idx := uint64(len(fm.churnProcs) - 1)
+	fm.c.loop.Schedule(fm.c.loop.Now()+r.Exp(1/ch.UpMS), classFault, fm, opChurnCrash, idx)
 }
 
 // idle reports that no future work can appear: the trace is exhausted
 // and every request has resolved.
-func (fm *faultMode) idle() bool { return !fm.c.has && len(fm.pending) == 0 }
+func (fm *faultMode) idle() bool { return !fm.c.has && fm.npend == 0 }
 
 // liveActive counts dispatchable replicas: active and not down.
 func (fm *faultMode) liveActive() int {
@@ -218,10 +337,12 @@ func (fm *faultMode) crash(i int, now float64) {
 	if fm.liveActive() == 0 && math.IsNaN(fm.unavailAt) {
 		fm.openUnavail(now)
 	}
-	q := rep.queue
-	rep.queue = rep.queue[:0]
+	// The crashed replica's live queue requeues; no event can enqueue
+	// onto a down replica, so iterating the emptied array is safe.
+	q := rep.q()
+	rep.queue, rep.qhead = rep.queue[:0], 0
 	for _, req := range q {
-		entry := fm.pending[req.ID]
+		entry := fm.lookup(req.ID)
 		if entry == nil {
 			continue // stale copy of an already-resolved request
 		}
@@ -292,9 +413,10 @@ func (fm *faultMode) flushParked(now float64) {
 	}
 	parked := fm.parked
 	fm.parked = nil
-	for _, entry := range parked {
-		if fm.pending[entry.req.ID] != entry {
-			continue
+	for _, id := range parked {
+		entry := fm.lookup(id)
+		if entry == nil {
+			continue // resolved while parked
 		}
 		fm.send(entry, now, false, obs.KindDispatch)
 	}
@@ -317,8 +439,7 @@ func (fm *faultMode) onActiveChanged(now float64) {
 // dispatchNew admits one fresh arrival into the fault runtime.
 func (fm *faultMode) dispatchNew(req workload.Request, now float64) {
 	fm.st.noteArrival(req)
-	entry := &pendingReq{req: req}
-	fm.pending[req.ID] = entry
+	entry := fm.insert(req)
 	fm.send(entry, now, true, obs.KindDispatch)
 }
 
@@ -329,7 +450,7 @@ func (fm *faultMode) dispatchNew(req workload.Request, now float64) {
 // only one that folds into the autoscaler's window signals (retries
 // are not new demand). kind is the trace label for this dispatch —
 // dispatch, requeue, retry, or hedge.
-func (fm *faultMode) send(entry *pendingReq, now float64, fresh bool, kind obs.Kind) {
+func (fm *faultMode) send(entry *pendSlot, now float64, fresh bool, kind obs.Kind) {
 	c := fm.c
 	target, ok := fm.pick(now, entry.tried)
 	if !ok {
@@ -337,7 +458,7 @@ func (fm *faultMode) send(entry *pendingReq, now float64, fresh bool, kind obs.K
 		// scale-up restores capacity. The autoscale window sees a
 		// pessimistic latency sample so an outage registers as load,
 		// never as idleness.
-		fm.parked = append(fm.parked, entry)
+		fm.parked = append(fm.parked, entry.id)
 		if tr := c.tr; tr != nil {
 			e := obs.At(now, obs.KindPark)
 			e.Req = entry.req.ID
@@ -372,22 +493,20 @@ func (fm *faultMode) send(entry *pendingReq, now float64, fresh bool, kind obs.K
 	// second replica exists to host the copy.
 	if fm.retry.HedgeQ > 0 && entry.attempts == 1 &&
 		fm.latQ.Len() >= fm.retry.HedgeMin && c.active > 1 {
-		id := entry.req.ID
 		at := now + fm.latQ.Percentile(fm.retry.HedgeQ)
-		c.loop.Schedule(at, classTimeout, func(now float64) { fm.onHedge(id, now) })
+		c.loop.Schedule(at, classTimeout, fm, opHedge, uint64(entry.id))
 	}
 	if fm.spec != nil {
 		// Transit: loss and delay are per-copy draws from the dedicated
 		// network stream, in dispatch order.
 		if fm.spec.Loss > 0 && fm.net.Float64() < fm.spec.Loss {
-			id := entry.req.ID
-			c.loop.Schedule(now+fm.timeoutMS, classTimeout, func(now float64) { fm.onLossTimeout(id, now) })
+			c.loop.Schedule(now+fm.timeoutMS, classTimeout, fm, opLossTimeout, uint64(entry.id))
 			return // the copy never arrives; the timeout notices
 		}
 		if fm.spec.Delay.Kind != faults.DelayNone {
 			if d := fm.spec.Delay.Sample(fm.net); d > 0 {
-				id := entry.req.ID
-				c.loop.Schedule(now+d, classArrival, func(now float64) { fm.deliver(target, id, now) })
+				c.loop.Schedule(now+d, classArrival, fm, opDeliver,
+					uint64(target)<<deliverIDBits|uint64(entry.id))
 				return
 			}
 		}
@@ -426,7 +545,7 @@ func (fm *faultMode) pick(now float64, tried []int) (int, bool) {
 // unless the request already resolved (the copy evaporates) or the
 // replica died while the copy was on the wire (requeue).
 func (fm *faultMode) deliver(target, id int, now float64) {
-	entry := fm.pending[id]
+	entry := fm.lookup(id)
 	if entry == nil {
 		return
 	}
@@ -444,7 +563,7 @@ func (fm *faultMode) deliver(target, id int, now float64) {
 // retry if the attempt budget allows, otherwise the request is lost
 // for good once no other copy is still racing.
 func (fm *faultMode) onLossTimeout(id int, now float64) {
-	entry := fm.pending[id]
+	entry := fm.lookup(id)
 	if entry == nil {
 		return // another copy resolved the request
 	}
@@ -462,20 +581,20 @@ func (fm *faultMode) onLossTimeout(id int, now float64) {
 	if entry.copies > 0 {
 		return // a hedge twin may still succeed
 	}
-	delete(fm.pending, id)
-	fm.recordLost(entry, now)
+	fm.del(id)
+	fm.recordLost(entry.req, now)
 }
 
 // recordLost finalizes a request as lost at time now.
-func (fm *faultMode) recordLost(entry *pendingReq, now float64) {
+func (fm *faultMode) recordLost(req workload.Request, now float64) {
 	fm.fs.Lost++
 	fm.st.record(Result{
-		ID: entry.req.ID, ArrivalMS: entry.req.ArrivalMS,
+		ID: req.ID, ArrivalMS: req.ArrivalMS,
 		Dropped: true, Lost: true, SLOMiss: true, ExitIndex: -1,
 	}, fm.c.base.Observer)
 	if tr := fm.c.tr; tr != nil {
 		e := obs.At(now, obs.KindLost)
-		e.Req = entry.req.ID
+		e.Req = req.ID
 		tr.Emit(e)
 	}
 }
@@ -484,7 +603,7 @@ func (fm *faultMode) recordLost(entry *pendingReq, now float64) {
 // one duplicate dispatched to a different replica; first copy to be
 // batched wins.
 func (fm *faultMode) onHedge(id int, now float64) {
-	entry := fm.pending[id]
+	entry := fm.lookup(id)
 	if entry == nil || entry.hedged {
 		return
 	}
@@ -498,7 +617,7 @@ func (fm *faultMode) onHedge(id int, now float64) {
 // attempt budget lasts; otherwise the drop is final once this was the
 // last copy.
 func (fm *faultMode) reject(r *replicaSim, req workload.Request, now float64) {
-	entry := fm.pending[req.ID]
+	entry := fm.lookup(req.ID)
 	if entry == nil {
 		return // stale copy bounced off a full queue
 	}
@@ -511,7 +630,7 @@ func (fm *faultMode) reject(r *replicaSim, req workload.Request, now float64) {
 	if entry.copies > 0 {
 		return
 	}
-	delete(fm.pending, req.ID)
+	fm.del(req.ID)
 	res := Result{
 		ID: req.ID, ArrivalMS: req.ArrivalMS,
 		Dropped: true, SLOMiss: true, ExitIndex: -1,
@@ -525,7 +644,7 @@ func (fm *faultMode) reject(r *replicaSim, req workload.Request, now float64) {
 // policy drop only finalizes the request when it was the last
 // outstanding copy — a hedge twin may still succeed elsewhere.
 func (fm *faultMode) complete(r *replicaSim, res Result) {
-	entry := fm.pending[res.ID]
+	entry := fm.lookup(res.ID)
 	if entry == nil {
 		fm.fs.Wasted++
 		return
@@ -535,12 +654,12 @@ func (fm *faultMode) complete(r *replicaSim, res Result) {
 		if entry.copies > 0 {
 			return
 		}
-		delete(fm.pending, res.ID)
+		fm.del(res.ID)
 		r.st.record(res, r.opts.Observer)
 		fm.c.observeResult(res, r.idx)
 		return
 	}
-	delete(fm.pending, res.ID)
+	fm.del(res.ID)
 	r.st.record(res, r.opts.Observer)
 	fm.c.observeResult(res, r.idx)
 	fm.latQ.Add(res.LatencyMS)
@@ -587,18 +706,20 @@ func (fm *faultMode) finish(endMS float64) {
 		}
 	}
 	fm.closeUnavail(endMS)
-	if len(fm.pending) == 0 {
+	if fm.npend == 0 {
 		return
 	}
-	ids := make([]int, 0, len(fm.pending))
-	for id := range fm.pending {
-		ids = append(ids, id)
+	ids := make([]int, 0, fm.npend)
+	for i := range fm.pend {
+		if fm.pend[i].id != -1 {
+			ids = append(ids, fm.pend[i].id)
+		}
 	}
 	sort.Ints(ids)
 	for _, id := range ids {
-		entry := fm.pending[id]
-		delete(fm.pending, id)
-		fm.recordLost(entry, endMS)
+		entry := fm.lookup(id)
+		fm.del(id)
+		fm.recordLost(entry.req, endMS)
 	}
 }
 

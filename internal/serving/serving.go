@@ -289,7 +289,13 @@ func Run(src RequestSource, h Handler, opts Options) *Stats {
 	in := &lookahead{src: src}
 
 	now := 0.0 // GPU-free time
+	// queue[qhead:] is the live queue. Consumption advances qhead
+	// instead of re-slicing the front off (which would strand the
+	// array's spare capacity and cost one allocation per request); the
+	// dead prefix is compacted back to the front at the top of the loop
+	// once it outgrows the live tail.
 	queue := make([]workload.Request, 0, opts.MaxBatch*4)
+	qhead := 0
 
 	tr, tl := opts.Trace, opts.Timeline
 	rec := func(r Result) {
@@ -315,11 +321,29 @@ func Run(src RequestSource, h Handler, opts Options) *Stats {
 		tr.Emit(e)
 	}
 
+	// snap is the timeline's gauge callback, bound once: it reads the
+	// loop variables through the closure, and each emitted row gets its
+	// own one-element depth slice (rows retain their slices).
+	var snap func() obs.Gauges
+	if tl != nil {
+		snap = func() obs.Gauges {
+			d := len(queue) - qhead
+			return obs.Gauges{Replicas: 1, Live: 1, Queued: d, QueueDepths: []int{d}}
+		}
+	}
+
 	for {
+		// No batch aliases the dead prefix at the top of the loop, so
+		// reclaim it here: rewind when empty, compact once the prefix
+		// outgrows the live tail (amortized O(1) per request).
+		if qhead == len(queue) {
+			queue, qhead = queue[:0], 0
+		} else if qhead > len(queue)-qhead {
+			n := copy(queue, queue[qhead:])
+			queue, qhead = queue[:n], 0
+		}
 		if tl != nil {
-			tl.CatchUp(now, func() obs.Gauges {
-				return obs.Gauges{Replicas: 1, Live: 1, Queued: len(queue), QueueDepths: []int{len(queue)}}
-			})
+			tl.CatchUp(now, snap)
 		}
 		// Admit every request that has arrived by `now`.
 		for {
@@ -329,7 +353,7 @@ func Run(src RequestSource, h Handler, opts Options) *Stats {
 			}
 			in.pop()
 			st.noteArrival(next)
-			if opts.Platform == TFServe && len(queue) >= opts.QueueCap {
+			if opts.Platform == TFServe && len(queue)-qhead >= opts.QueueCap {
 				if tr != nil {
 					e := obs.At(next.ArrivalMS, obs.KindArrive)
 					e.Req = next.ID
@@ -341,10 +365,10 @@ func Run(src RequestSource, h Handler, opts Options) *Stats {
 				})
 			} else {
 				queue = append(queue, next)
-				admit(next, len(queue))
+				admit(next, len(queue)-qhead)
 			}
 		}
-		if len(queue) == 0 {
+		if len(queue)-qhead == 0 {
 			next, ok := in.peek()
 			if !ok {
 				break // stream exhausted and nothing queued: done
@@ -357,7 +381,9 @@ func Run(src RequestSource, h Handler, opts Options) *Stats {
 		var batch []workload.Request
 		switch opts.Platform {
 		case Clockwork:
-			batch, queue = clockworkPick(queue, rec, now, h, opts)
+			var rest []workload.Request
+			batch, rest = clockworkPick(queue[qhead:], rec, now, h, opts)
+			qhead = len(queue) - len(rest)
 			if batch == nil {
 				// Everything queued was dropped; loop to admit more.
 				continue
@@ -369,10 +395,13 @@ func Run(src RequestSource, h Handler, opts Options) *Stats {
 			// have far lower per-request cost (§2.1). The hold is
 			// admitted only while the oldest request still meets its
 			// SLO.
-			if len(queue) == 0 { // the batch took the whole queue
+			if len(rest) == 0 { // the batch took the whole queue
 				oldestWait := now - batch[0].ArrivalMS
 				if oldestWait > 0.25*opts.SLOms {
-					extended := false
+					// The batch is the tail of the queue's array, so it
+					// grows in place by appending to the queue and
+					// re-slicing — no copy.
+					bstart := len(queue) - len(batch)
 					for len(batch) < opts.MaxBatch {
 						nreq, ok := in.peek()
 						if !ok {
@@ -386,19 +415,15 @@ func Run(src RequestSource, h Handler, opts Options) *Stats {
 						if oldestWait+hold+h.BatchLatency(len(batch)+1) > opts.SLOms {
 							break
 						}
-						if !extended {
-							// The batch aliases the queue's backing
-							// array; copy before growing it.
-							batch = append([]workload.Request(nil), batch...)
-							extended = true
-						}
 						if next > now {
 							now = next
 							oldestWait = now - batch[0].ArrivalMS
 						}
 						in.pop()
 						st.noteArrival(nreq)
-						batch = append(batch, nreq)
+						queue = append(queue, nreq)
+						qhead = len(queue)
+						batch = queue[bstart:]
 						admit(nreq, len(batch))
 					}
 				}
@@ -406,11 +431,13 @@ func Run(src RequestSource, h Handler, opts Options) *Stats {
 		case TFServe:
 			next, more := in.peek()
 			var wait float64
-			batch, queue, wait = tfservePick(queue, now, more, next.ArrivalMS, opts)
+			var rest []workload.Request
+			batch, rest, wait = tfservePick(queue[qhead:], now, more, next.ArrivalMS, opts)
 			if batch == nil {
 				now += wait
 				continue
 			}
+			qhead = len(queue) - len(rest)
 		}
 
 		b := len(batch)
@@ -504,10 +531,10 @@ func tfservePick(queue []workload.Request, now float64, more bool, nextArrival f
 	}
 	deadline := queue[0].ArrivalMS + opts.BatchTimeoutMS
 	if now >= deadline || !more {
-		// Copy the flush: the emptied queue reuses the backing array.
-		batch := make([]workload.Request, len(queue))
-		copy(batch, queue)
-		return batch, queue[:0], 0
+		// Flush the whole queue as the batch. The batch aliases the
+		// queue's array; callers consume it synchronously before
+		// admitting anything, so no copy is needed.
+		return queue, queue[len(queue):], 0
 	}
 	// Wait for either the timeout or the next arrival, whichever first.
 	wait := deadline - now

@@ -1,0 +1,134 @@
+package serving
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/autoscale"
+	"repro/internal/controller"
+	"repro/internal/exitsim"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// TestShardedClusterByteIdentity is the sharded runtime's anchor: for
+// every shardable configuration, RunCluster with Shards>1 must reproduce
+// the serial run byte-for-byte — identical merged stats, identical
+// per-replica stats, across platforms, metrics modes, handler kinds, and
+// uneven replica/shard splits. Sharding is an execution knob, never a
+// semantics knob.
+func TestShardedClusterByteIdentity(t *testing.T) {
+	type handlerCase struct {
+		name string
+		mk   func(m *model.Model, kind exitsim.Kind) func(int) Handler
+	}
+	handlers := []handlerCase{
+		{"vanilla", func(m *model.Model, _ exitsim.Kind) func(int) Handler {
+			return func(int) Handler { return &VanillaHandler{Model: m} }
+		}},
+		{"apparate", func(m *model.Model, kind exitsim.Kind) func(int) Handler {
+			prof := exitsim.ProfileFor(m, kind)
+			return func(int) Handler {
+				return NewApparate(m, prof, 0.02, controller.Config{})
+			}
+		}},
+	}
+	type wlCase struct {
+		name   string
+		m      *model.Model
+		kind   exitsim.Kind
+		stream *workload.Stream
+	}
+	workloads := []wlCase{
+		{"video", model.ResNet50(), exitsim.KindVideo, workload.Video(1, 4000, 60, 81)},
+		{"amazon", model.BERTBase(), exitsim.KindAmazon, workload.Amazon(4000, 40, 82)},
+	}
+	type split struct{ replicas, shards int }
+	splits := []split{
+		{4, 2},  // even split
+		{5, 2},  // uneven: shard 0 owns 3 replicas, shard 1 owns 2
+		{4, 4},  // one replica per shard
+		{3, 16}, // shards clamp to replica count
+	}
+	for _, wl := range workloads {
+		for _, platform := range []Platform{Clockwork, TFServe} {
+			for _, mode := range []metrics.Mode{metrics.ModeExact, metrics.ModeSketch} {
+				for _, hc := range handlers {
+					for _, sp := range splits {
+						name := fmt.Sprintf("%s/%s/%s/%s/r%d-s%d",
+							wl.name, platform, mode, hc.name, sp.replicas, sp.shards)
+						t.Run(name, func(t *testing.T) {
+							opts := ClusterOptions{
+								Options:  Options{Platform: platform, SLOms: wl.m.SLO(), Metrics: mode},
+								Replicas: sp.replicas,
+								Dispatch: RoundRobin,
+							}
+							serial := RunCluster(wl.stream, hc.mk(wl.m, wl.kind), opts)
+							opts.Shards = sp.shards
+							sharded := RunCluster(wl.stream, hc.mk(wl.m, wl.kind), opts)
+
+							if want, got := statsFingerprint(serial.Merged), statsFingerprint(sharded.Merged); want != got {
+								t.Fatalf("merged stats diverge:\n serial:  %s\n sharded: %s", want, got)
+							}
+							if len(serial.PerReplica) != len(sharded.PerReplica) {
+								t.Fatalf("replica counts diverge: %d vs %d",
+									len(serial.PerReplica), len(sharded.PerReplica))
+							}
+							for i := range serial.PerReplica {
+								want := statsFingerprint(serial.PerReplica[i])
+								got := statsFingerprint(sharded.PerReplica[i])
+								if want != got {
+									t.Fatalf("replica %d stats diverge:\n serial:  %s\n sharded: %s", i, want, got)
+								}
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardsFallbackEquality pins the other half of the contract: every
+// configuration the sharded runtime does not support falls back to the
+// serial path silently, so setting Shards on such a run changes nothing
+// — not even by accident.
+func TestShardsFallbackEquality(t *testing.T) {
+	m := model.ResNet50()
+	s := workload.Video(1, 2000, 60, 83)
+	base := ClusterOptions{
+		Options:  Options{Platform: Clockwork, SLOms: m.SLO()},
+		Replicas: 4,
+		Dispatch: RoundRobin,
+	}
+	cases := []struct {
+		name string
+		mod  func(*ClusterOptions)
+	}{
+		{"least-loaded", func(o *ClusterOptions) { o.Dispatch = LeastLoaded }},
+		{"jsq", func(o *ClusterOptions) { o.Dispatch = JoinShortestQueue }},
+		{"autoscale", func(o *ClusterOptions) { o.Autoscale = &autoscale.Config{Min: 1, Max: 4} }},
+		{"faults", func(o *ClusterOptions) { o.Faults = mustFaults(t, "mtbf:3000/400;loss=0.02") }},
+		{"single-replica", func(o *ClusterOptions) { o.Replicas = 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := base
+			tc.mod(&opts)
+			plain := RunCluster(s, func(int) Handler { return &VanillaHandler{Model: m} }, opts)
+			opts.Shards = 4
+			withShards := RunCluster(s, func(int) Handler { return &VanillaHandler{Model: m} }, opts)
+			if want, got := statsFingerprint(plain.Merged), statsFingerprint(withShards.Merged); want != got {
+				t.Fatalf("fallback run changed under Shards=4:\n plain:  %s\n shards: %s", want, got)
+			}
+			for i := range plain.PerReplica {
+				want := statsFingerprint(plain.PerReplica[i])
+				got := statsFingerprint(withShards.PerReplica[i])
+				if want != got {
+					t.Fatalf("replica %d changed under Shards=4:\n plain:  %s\n shards: %s", i, want, got)
+				}
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
@@ -23,6 +24,23 @@ var millionScenario = core.Scenario{
 	Model: "resnet18", Workload: "video-0",
 	N: 1_000_000, Seed: 1, Metrics: "sketch",
 	RateSchedule: "square:60/0.5/2.5",
+}
+
+// memGuardScenario scales the guard scenario's request count through
+// APPARATE_MEM_N, so CI can push the same bounded-memory claim well
+// past 1M requests (the Makefile's mem-smoke runs 10M) without slowing
+// the default. The memory bound must hold at ANY n — that is the whole
+// claim — so the guard's heap limit below never scales with it.
+func memGuardScenario(tb testing.TB) core.Scenario {
+	sc := millionScenario
+	if env := os.Getenv("APPARATE_MEM_N"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n <= 0 {
+			tb.Fatalf("APPARATE_MEM_N=%q: want a positive integer", env)
+		}
+		sc.N = n
+	}
+	return sc
 }
 
 // BenchmarkStreamingMillion runs the 1M-request scenario end to end.
@@ -53,6 +71,7 @@ func TestStreamingMillionBoundedMemory(t *testing.T) {
 	if os.Getenv("APPARATE_MEM_GUARD") == "" {
 		t.Skip("set APPARATE_MEM_GUARD=1 to run the 1M-request memory guard")
 	}
+	sc := memGuardScenario(t)
 	stop := make(chan struct{})
 	peakCh := make(chan uint64)
 	go func() {
@@ -74,15 +93,15 @@ func TestStreamingMillionBoundedMemory(t *testing.T) {
 		}
 	}()
 	start := time.Now()
-	res, err := core.RunScenario(millionScenario)
+	res, err := core.RunScenario(sc)
 	dur := time.Since(start)
 	close(stop)
 	peak := <-peakCh
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Requests != millionScenario.N {
-		t.Fatalf("served %d requests, want %d", res.Requests, millionScenario.N)
+	if res.Requests != sc.N {
+		t.Fatalf("served %d requests, want %d", res.Requests, sc.N)
 	}
 	// A materialized pipeline needs >400 MB live for this scenario
 	// (trace + two result slices + two latency slices); the streaming
@@ -90,7 +109,7 @@ func TestStreamingMillionBoundedMemory(t *testing.T) {
 	// leaves generous headroom over the observed ~10 MB peak while
 	// still catching any reintroduced O(n) buffer.
 	const limit = 128 << 20
-	t.Logf("1M-request sketch scenario: %.1fs, peak live heap %.1f MiB", dur.Seconds(), float64(peak)/(1<<20))
+	t.Logf("%d-request sketch scenario: %.1fs, peak live heap %.1f MiB", sc.N, dur.Seconds(), float64(peak)/(1<<20))
 	if peak > limit {
 		t.Fatalf("peak live heap %d bytes exceeds %d: the pipeline is materializing per-request state again", peak, limit)
 	}

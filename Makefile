@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-cluster bench-faults bench-obs bench-stream bench-all sweep-smoke mem-smoke golden ci
+.PHONY: build test vet race bench bench-cluster bench-faults bench-obs bench-stream bench-gen bench-all sweep-smoke mem-smoke golden ci
 
 # Stamps the measurement provenance — commit, toolchain, machine — into
 # a freshly regenerated BENCH_*.json, so numbers from different epochs
@@ -26,7 +26,7 @@ vet:
 # engine loops run under the detector; the trailing sweep run crosses
 # sharded scenarios with parallel sweep workers end to end.
 race:
-	$(GO) test -race ./internal/sweep/... ./internal/serving/... ./internal/autoscale/... ./internal/core/... ./internal/engine/... ./internal/faults/... ./internal/obs/...
+	$(GO) test -race ./internal/sweep/... ./internal/serving/... ./internal/autoscale/... ./internal/core/... ./internal/engine/... ./internal/faults/... ./internal/obs/... ./internal/genserve/...
 	$(GO) run -race ./cmd/apparate-sweep -models resnet18,resnet50 -workloads video-0 \
 		-replicas 4 -dispatch round-robin -shards 4 -n 1500 -seed 5 -quiet >/dev/null
 	@echo "race: clean (incl. shards=4 engine loops under parallel sweep workers)"
@@ -207,9 +207,27 @@ bench-stream:
 	  END { printf("\n  ]\n}\n") }' /tmp/bench_stream.txt >> BENCH_stream.json
 	@echo "bench-stream: wrote BENCH_stream.json"
 
+# Generative KV-runtime benchmark (kv=off vs bounded pools with/without
+# the prefix cache, plus a saturated small pool with chunked prefill)
+# emitted as BENCH_gen.json. Rows carry the engine's own observables
+# (tok/s, kv_util, prefix_hits, preempts, queue_ms) alongside ns/op;
+# the awk below parses the value/unit pairs generically so new
+# ReportMetric columns flow through without Makefile changes.
+bench-gen:
+	$(GO) test -run '^$$' -bench BenchmarkGenKV -benchtime 5x . | tee /tmp/bench_gen.txt
+	@printf '{\n  "description": "BenchmarkGenKV: the generative engine over 200 cnn-dailymail sequences at 6 seq/s — kv=off (classic unbounded path) vs a 96-block pool with/without the prefix cache vs a saturated 48-block pool with chunked prefill. Each row records the engine observables (tok_per_s, kv_util, prefix_hits, preempts, queue_ms) alongside ns/op; the saturated rows must show preempts > 0 and the kv=off row must track the pre-KV engine cost. Regenerate with make bench-gen.",\n' > BENCH_gen.json
+	@$(call bench_meta,BENCH_gen.json)
+	@awk 'BEGIN { printf("  \"results\": [\n") } \
+	  /^BenchmarkGenKV\// { sub(/^BenchmarkGenKV\//, "", $$1); sub(/-[0-9]+$$/, "", $$1); \
+	    printf("%s    {\"case\": \"%s\", \"iters\": %s", sep, $$1, $$2); \
+	    for (i = 3; i < NF; i += 2) { u = $$(i+1); gsub(/\//, "_per_", u); printf(", \"%s\": %s", u, $$i) } \
+	    printf("}"); sep=",\n" } \
+	  END { printf("\n  ]\n}\n") }' /tmp/bench_gen.txt >> BENCH_gen.json
+	@echo "bench-gen: wrote BENCH_gen.json"
+
 # Regenerate every BENCH_*.json in one shot, all stamped with the same
 # commit/machine metadata.
-bench-all: bench-cluster bench-faults bench-obs bench-stream
+bench-all: bench-cluster bench-faults bench-obs bench-stream bench-gen
 
 # A 24+-scenario mixed grid at -workers 8, then the determinism gate:
 # the same grid at -workers 1 must emit byte-identical JSON.
@@ -243,6 +261,15 @@ OBS_FLAGS = -models resnet18,resnet50 -workloads video-0,video-1 \
 	-replicas 1,2 -faults 'crash:r0@2000+800;loss=0.002' \
 	-retry attempts=2 -n 1500 -seed 6 -quiet
 
+# Generative KV grid (bounded KV pool × prefix cache × chunked prefill
+# crossed with exit-rate over both generative workloads): the
+# memory-runtime determinism gate — block accounting, preemption order,
+# and the gen.prefix stream must all stay byte-identical at any worker
+# count.
+GENKV_FLAGS = -models t5-large -workloads cnn-dailymail,squad \
+	-kv-blocks 0,64 -prefix-hit 0,0.4 -prefill-chunk 128 \
+	-acc-losses 0.01,0.05 -gen-n 10 -seed 8 -quiet
+
 # Sharded-execution grid (round-robin multi-replica points, exact and
 # sketch recorders): -shards 4 splits each scenario over four parallel
 # engine loops and must emit byte-identical JSON to the serial run —
@@ -272,10 +299,13 @@ sweep-smoke:
 	$(GO) run ./cmd/apparate-sweep $(OBS_FLAGS) -obs-dir /tmp/sweep-obs-w1 -workers 1 -out /tmp/sweep-obs-w1.json >/dev/null
 	cmp /tmp/sweep-obs-w1.json /tmp/sweep-obs-w8.json
 	diff -r /tmp/sweep-obs-w1 /tmp/sweep-obs-w8
+	$(GO) run ./cmd/apparate-sweep $(GENKV_FLAGS) -workers 8 -out /tmp/sweep-kv-w8.json >/dev/null
+	$(GO) run ./cmd/apparate-sweep $(GENKV_FLAGS) -workers 1 -out /tmp/sweep-kv-w1.json >/dev/null
+	cmp /tmp/sweep-kv-w1.json /tmp/sweep-kv-w8.json
 	$(GO) run ./cmd/apparate-sweep $(SHARDS_FLAGS) -workers 8 -out /tmp/sweep-sh1.json >/dev/null
 	$(GO) run ./cmd/apparate-sweep $(SHARDS_FLAGS) -shards 4 -workers 8 -out /tmp/sweep-sh4.json >/dev/null
 	cmp /tmp/sweep-sh1.json /tmp/sweep-sh4.json
-	@echo "sweep-smoke: deterministic across worker counts (exact + sketch, incl. autoscale, faulty, and traced grids) and shard counts"
+	@echo "sweep-smoke: deterministic across worker counts (exact + sketch, incl. autoscale, faulty, traced, and generative-KV grids) and shard counts"
 
 # Memory guard: one 10,000,000-request scheduled-rate scenario in
 # sketch mode must complete under a 256 MiB soft heap limit with a

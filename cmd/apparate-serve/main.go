@@ -40,6 +40,10 @@ func main() {
 		exitRule  = flag.String("exit-rule", "", "exit rule override: entropy | windowed-K | patience-P")
 		genSlots  = flag.Int("gen-slots", 0, "generative continuous-batching slots (0 = engine default)")
 		genFlush  = flag.Int("gen-flush", 0, "generative pending-token flush threshold (0 = engine default)")
+		kvBlocks  = flag.Int("kv-blocks", 0, "generative KV-block pool size; admission blocks and the youngest running sequence preempts when exhausted (0 = unbounded)")
+		blockTok  = flag.Int("block-tokens", 0, "tokens per KV block (0 = 16; meaningful with -kv-blocks)")
+		prefixHit = flag.Float64("prefix-hit", 0, "generative prefix-cache hit probability in [0,1]; hits skip prompt prefill")
+		prefillCh = flag.Int("prefill-chunk", 0, "chunked-prefill threshold in prompt tokens; longer prompts prefill in chunks interleaved with decode (0 = monolithic)")
 		metricsMd = flag.String("metrics", "exact", "latency recorder: exact | sketch (sketch = O(1) memory for huge -n)")
 		schedule  = flag.String("rate-schedule", "", "time-varying arrival schedule, e.g. phases:10x1/10x4 | sine:60/0.5/2 | square:30/0.5/4 (empty = native arrivals)")
 		autoscl   = flag.String("autoscale", "", "replica autoscaler spec, e.g. 1..4 or 1..4/window=2000/cool=6000 (empty = fixed -replicas)")
@@ -69,6 +73,10 @@ func main() {
 		ExitRule:     *exitRule,
 		GenSlots:     *genSlots,
 		GenFlush:     *genFlush,
+		KVBlocks:     *kvBlocks,
+		BlockTokens:  *blockTok,
+		PrefixHit:    *prefixHit,
+		PrefillChunk: *prefillCh,
 		Metrics:      *metricsMd,
 		RateSchedule: *schedule,
 		Autoscale:    *autoscl,
@@ -162,6 +170,10 @@ func printResult(res *core.Result) {
 	if res.Generative {
 		fmt.Printf("sequence score: vanilla %.4f, apparate %.4f\n", res.Vanilla.Accuracy, res.Apparate.Accuracy)
 		fmt.Printf("throughput: vanilla %.1f tok/s, apparate %.1f tok/s\n", res.Vanilla.Throughput, res.Apparate.Throughput)
+		if sc.KVBlocks > 0 || sc.PrefixHit > 0 || sc.PrefillChunk > 0 {
+			fmt.Printf("kv: util %.1f%%, %d prefix hits, %d preemptions, mean queue %.1fms\n",
+				res.KVUtil*100, res.PrefixHits, res.Preemptions, res.QueueMS)
+		}
 	} else {
 		fmt.Printf("accuracy   %10.2f%% %9.2f%%   (loss %.3f%%, constraint %.1f%%)\n",
 			res.Vanilla.Accuracy*100, res.Apparate.Accuracy*100, res.AccDelta*100, sc.AccLoss*100)

@@ -122,6 +122,10 @@ func main() {
 		heteros    = flag.String("hetero", "", "semicolon-separated replica-speed specs, e.g. '1,0.5;1,1,0.25' (default: homogeneous clusters)")
 		faultsAx   = flag.String("faults", "", "pipe-separated fault-injection specs, e.g. 'crash:r1@2000+500|mtbf:8000/1000;delaydist=exp:2;loss=0.001' (default: reliable clusters)")
 		retries    = flag.String("retry", "", "comma-separated dispatcher retry/hedging specs, e.g. 'attempts=3,attempts=2/hedge=95' (default: dispatch once)")
+		kvBlocks   = flag.String("kv-blocks", "", "comma-separated generative KV-block pool sizes (0 = unbounded)")
+		blockToks  = flag.String("block-tokens", "", "comma-separated tokens-per-KV-block values (0 = 16)")
+		prefixHits = flag.String("prefix-hit", "", "comma-separated generative prefix-cache hit ratios in [0,1] (default: 0)")
+		prefillChs = flag.String("prefill-chunk", "", "comma-separated chunked-prefill thresholds in prompt tokens (0 = monolithic)")
 		n          = flag.Int("n", 4000, "requests per classification scenario")
 		genN       = flag.Int("gen-n", 40, "sequences per generative scenario")
 		seed       = flag.Uint64("seed", 1, "base seed; per-scenario seeds derive from it")
@@ -169,6 +173,10 @@ func main() {
 		Heteros:       splitSemiList(*heteros),
 		Faults:        splitPipeList(*faultsAx),
 		Retries:       splitList(*retries),
+		KVBlocks:      splitInts(*kvBlocks, "kv-blocks"),
+		BlockTokens:   splitInts(*blockToks, "block-tokens"),
+		PrefixHits:    splitFloats(*prefixHits, "prefix-hit"),
+		PrefillChunks: splitInts(*prefillChs, "prefill-chunk"),
 		N:             *n,
 		GenN:          *genN,
 		Seed:          *seed,

@@ -61,11 +61,34 @@ func goldenFaultGrid() sweep.Grid {
 	}
 }
 
+// goldenKVGrid extends the pin to the generative KV-block memory
+// runtime: exit-rate (acc-loss) × KV-pressure (pool size) ×
+// prefix-cache × chunked-prefill rows over the summarization workload.
+// The interaction it quantifies is the paper's second dividend of early
+// exits under memory-bounded admission — exit-heavy configurations
+// finish sequences sooner, freeing KV blocks and shrinking queue_ms /
+// preemptions at the same pool size — with tokens/sec, kv_util, and the
+// preemption counters as the pinned observables.
+func goldenKVGrid() sweep.Grid {
+	return sweep.Grid{
+		Models:        []string{"t5-large"},
+		Workloads:     []string{"cnn-dailymail"},
+		Platforms:     []string{"clockwork"},
+		AccLosses:     []float64{0.01, 0.05},
+		KVBlocks:      []int{0, 96},
+		PrefixHits:    []float64{0, 0.5},
+		PrefillChunks: []int{0, 128},
+		GenN:          12,
+		Seed:          7,
+	}
+}
+
 // TestGoldenSweep is the regression gate the sweep substrate was built
-// for: it runs the pinned grid (base rows plus the fault/retry rows)
-// and byte-compares the CSV against testdata/golden_sweep.csv. When a
-// change intentionally shifts results, refresh the pin with `make
-// golden` and review the diff like any other code change.
+// for: it runs the pinned grid (base rows plus the fault/retry and
+// generative-KV rows) and byte-compares the CSV against
+// testdata/golden_sweep.csv. When a change intentionally shifts
+// results, refresh the pin with `make golden` and review the diff like
+// any other code change.
 func TestGoldenSweep(t *testing.T) {
 	scenarios, err := goldenGrid().Expand()
 	if err != nil {
@@ -76,6 +99,11 @@ func TestGoldenSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 	scenarios = append(scenarios, faulty...)
+	kv, err := goldenKVGrid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios = append(scenarios, kv...)
 	if len(scenarios) == 0 {
 		t.Fatal("golden grid expanded to zero scenarios")
 	}

@@ -60,6 +60,23 @@ type Config struct {
 	// GenFlush overrides the generative engine's pending-token flush
 	// threshold (default 8).
 	GenFlush int
+	// KVBlocks bounds the generative engine's KV-block pool (0 =
+	// unbounded: the pre-KV engine).
+	KVBlocks int
+	// BlockTokens is the KV-block granularity in tokens (0 = the engine
+	// default of 16; meaningful with KVBlocks > 0).
+	BlockTokens int
+	// PrefixHitRatio is the generative prefix-cache hit probability in
+	// [0,1]; hits skip prompt prefill and are not charged KV blocks for
+	// the cached prefix.
+	PrefixHitRatio float64
+	// PrefillChunkTokens chunks generative prompts longer than this
+	// threshold, interleaving prefill with decode on the engine clock
+	// (0 = monolithic prefill).
+	PrefillChunkTokens int
+	// Seed drives generative engine-internal randomness (the gen.prefix
+	// stream); only meaningful when PrefixHitRatio > 0.
+	Seed uint64
 	// Metrics selects the latency/TPT recorder implementation: exact
 	// (every sample kept, O(n) memory) or sketch (log-scaled histogram,
 	// O(1) memory, ~0.5% percentile error). Default exact.
@@ -163,6 +180,11 @@ func NewGen(m *model.Model, kind exitsim.Kind, cfg Config) *GenSystem {
 	if cfg.GenFlush > 0 {
 		eng.FlushCount = cfg.GenFlush
 	}
+	eng.KVBlocks = cfg.KVBlocks
+	eng.BlockTokens = cfg.BlockTokens
+	eng.PrefixHitRatio = cfg.PrefixHitRatio
+	eng.PrefillChunkTokens = cfg.PrefillChunkTokens
+	eng.Seed = cfg.Seed
 	return &GenSystem{
 		Model:  m,
 		Engine: eng,

@@ -49,6 +49,23 @@ type Scenario struct {
 	// (0 = engine defaults; generative workloads only).
 	GenSlots int `json:"gen_slots,omitempty"`
 	GenFlush int `json:"gen_flush,omitempty"`
+	// KVBlocks, BlockTokens, PrefixHit, and PrefillChunk configure the
+	// generative engine's KV-block memory runtime (generative workloads
+	// only; all identity-omitted when unset so pre-KV seeds and golden
+	// rows never shift). KVBlocks bounds the per-engine KV pool — a
+	// sequence holds ⌈(prompt+generated)/BlockTokens⌉ blocks to run,
+	// admission blocks FIFO when the pool is exhausted, and overflow
+	// preempts + requeues the youngest running sequence (0 = unbounded).
+	// BlockTokens sets tokens per block (0 = the engine default of 16;
+	// meaningful only with a pool). PrefixHit is the prefix-cache hit
+	// probability in [0,1] — hits skip prompt prefill, drawing only from
+	// the dedicated "gen.prefix" labeled stream. PrefillChunk chunks
+	// prompts longer than the threshold so prefill interleaves with
+	// decode on the engine clock (0 = monolithic).
+	KVBlocks     int     `json:"kv_blocks,omitempty"`
+	BlockTokens  int     `json:"block_tokens,omitempty"`
+	PrefixHit    float64 `json:"prefix_hit,omitempty"`
+	PrefillChunk int     `json:"prefill_chunk,omitempty"`
 	// Metrics selects the latency recorder: "exact" (default) keeps
 	// every sample for exact percentiles; "sketch" streams samples into
 	// a bounded-memory quantile sketch (~0.5% percentile error) so
@@ -147,6 +164,11 @@ func (sc Scenario) Normalize() Scenario {
 		sc.Timeline = false
 	} else {
 		sc.GenSlots, sc.GenFlush = 0, 0
+		sc.KVBlocks, sc.BlockTokens, sc.PrefixHit, sc.PrefillChunk = 0, 0, 0, 0
+	}
+	if sc.KVBlocks == 0 {
+		// Block granularity only means something once a pool bounds it.
+		sc.BlockTokens = 0
 	}
 	if sc.Autoscale != "" {
 		// The autoscaler owns the replica axis: runs start at its min
@@ -208,6 +230,18 @@ func (sc Scenario) Identity() string {
 	}
 	if sc.GenFlush != 0 {
 		fmt.Fprintf(&b, " flush=%d", sc.GenFlush)
+	}
+	if sc.KVBlocks != 0 {
+		fmt.Fprintf(&b, " kv=%d", sc.KVBlocks)
+	}
+	if sc.BlockTokens != 0 {
+		fmt.Fprintf(&b, " blocktok=%d", sc.BlockTokens)
+	}
+	if sc.PrefixHit != 0 {
+		fmt.Fprintf(&b, " prefixhit=%g", sc.PrefixHit)
+	}
+	if sc.PrefillChunk != 0 {
+		fmt.Fprintf(&b, " prefillchunk=%d", sc.PrefillChunk)
 	}
 	// Like the metrics axis below, schedule and autoscale are omitted
 	// when unset so pre-existing scenario identities (and the seeds
@@ -318,6 +352,15 @@ type Result struct {
 	Hedges     int     `json:"hedges,omitempty"`
 	DowntimeMS float64 `json:"downtime_ms,omitempty"`
 	UnavailMS  float64 `json:"unavail_ms,omitempty"`
+
+	// KV-block runtime activity of the Apparate run (generative KV
+	// scenarios only): time-averaged pool utilization, prefix-cache
+	// hits, preempt-and-requeue events, and mean per-sequence
+	// admission-queue wait.
+	KVUtil      float64 `json:"kv_util,omitempty"`
+	PrefixHits  int     `json:"prefix_hits,omitempty"`
+	Preemptions int     `json:"preemptions,omitempty"`
+	QueueMS     float64 `json:"queue_ms,omitempty"`
 }
 
 // kindFor maps a workload name to its calibration kind.
@@ -403,6 +446,13 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.GenSlots < 0 || sc.GenFlush < 0 {
 		return fmt.Errorf("scenario: gen slots/flush must be non-negative (got %d/%d)", sc.GenSlots, sc.GenFlush)
+	}
+	if sc.KVBlocks < 0 || sc.BlockTokens < 0 || sc.PrefillChunk < 0 {
+		return fmt.Errorf("scenario: kv blocks/block tokens/prefill chunk must be non-negative (got %d/%d/%d)",
+			sc.KVBlocks, sc.BlockTokens, sc.PrefillChunk)
+	}
+	if sc.PrefixHit < 0 || sc.PrefixHit > 1 {
+		return fmt.Errorf("scenario: prefix-hit ratio %g must be in [0,1]", sc.PrefixHit)
 	}
 	if sc.ObsTickMS < 0 {
 		return fmt.Errorf("scenario: observability tick %g must be non-negative", sc.ObsTickMS)
@@ -652,6 +702,11 @@ func runGenScenario(sc Scenario) (*Result, error) {
 		RampBudget:         sc.RampBudget,
 		GenSlots:           sc.GenSlots,
 		GenFlush:           sc.GenFlush,
+		KVBlocks:           sc.KVBlocks,
+		BlockTokens:        sc.BlockTokens,
+		PrefixHitRatio:     sc.PrefixHit,
+		PrefillChunkTokens: sc.PrefillChunk,
+		Seed:               sc.Seed,
 		Metrics:            mode,
 	}
 	g := NewGen(m, kind, cfg)
@@ -659,10 +714,21 @@ func runGenScenario(sc Scenario) (*Result, error) {
 	a := g.Serve(stream)
 
 	res := &Result{Scenario: sc, Generative: true, Requests: stream.Len()}
-	res.Vanilla = summaryFromDist(v.TPT())
-	res.Apparate = summaryFromDist(a.TPT())
+	// A token-free run (empty stream, or every sequence at GenLen 0) has
+	// no TPT distribution to summarize — Percentile on an empty recorder
+	// is pinned as a panic, so the summaries stay zero.
+	if v.TotalTokens > 0 {
+		res.Vanilla = summaryFromDist(v.TPT())
+	}
+	if a.TotalTokens > 0 {
+		res.Apparate = summaryFromDist(a.TPT())
+	}
 	res.Vanilla.Accuracy, res.Apparate.Accuracy = v.MeanScore, a.MeanScore
 	res.Vanilla.Throughput, res.Apparate.Throughput = v.TokensPerSec, a.TokensPerSec
+	res.KVUtil = a.KVUtil
+	res.PrefixHits = a.PrefixHits
+	res.Preemptions = a.Preemptions
+	res.QueueMS = a.QueueMS
 	fillWins(res)
 	res.TuneRounds = g.Policy.TuneRounds
 	res.AdjustRounds = g.Policy.MoveRounds

@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -223,5 +224,54 @@ func TestScenarioMetricsModeIsLive(t *testing.T) {
 		if !differs {
 			t.Fatalf("%s: sketch summaries bit-identical to exact — Metrics knob is not reaching the recorder", sc.Workload)
 		}
+	}
+}
+
+func TestScenarioKVKnobs(t *testing.T) {
+	base := Scenario{Model: "t5-large", Workload: "cnn-dailymail", N: 20, Seed: 3}
+	kv := base
+	kv.KVBlocks, kv.BlockTokens, kv.PrefixHit, kv.PrefillChunk = 96, 8, 0.5, 128
+	if base.Identity() == kv.Identity() {
+		t.Fatal("KV knobs missing from Identity")
+	}
+	// Unset knobs are identity-omitted: the base identity must not
+	// mention any KV token, so pre-KV derived seeds never shift.
+	for _, tok := range []string{"kv=", "blocktok=", "prefixhit=", "prefillchunk="} {
+		if strings.Contains(base.Identity(), tok) {
+			t.Fatalf("identity %q mentions %q with the knob unset", base.Identity(), tok)
+		}
+	}
+	a, err := RunScenario(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.KVUtil != 0 || a.Preemptions != 0 || a.PrefixHits != 0 || a.QueueMS != 0 {
+		t.Fatalf("KV-off scenario reported KV activity: %+v", a)
+	}
+	if b.KVUtil <= 0 {
+		t.Fatalf("bounded-pool scenario reported zero kv_util (prefix hits %d)", b.PrefixHits)
+	}
+	if b.PrefixHits == 0 {
+		t.Fatal("prefix-cache scenario realized zero hits at ratio 0.5")
+	}
+	// On classification scenarios the knobs are inert and normalize
+	// away; without a pool, block granularity normalizes away too.
+	cls := Scenario{Model: "resnet50", Workload: "video-0", N: 100, KVBlocks: 96, PrefixHit: 0.5}
+	if n := cls.Normalize(); n.KVBlocks != 0 || n.PrefixHit != 0 {
+		t.Fatal("KV knobs must collapse on classification scenarios")
+	}
+	poolless := Scenario{Model: "t5-large", Workload: "cnn-dailymail", N: 20, BlockTokens: 8}
+	if poolless.Normalize().BlockTokens != 0 {
+		t.Fatal("block tokens must collapse without a pool")
+	}
+	if _, err := RunScenario(Scenario{Model: "t5-large", Workload: "squad", N: 5, KVBlocks: -1}); err == nil {
+		t.Fatal("negative kv-blocks accepted")
+	}
+	if _, err := RunScenario(Scenario{Model: "t5-large", Workload: "squad", N: 5, PrefixHit: 1.5}); err == nil {
+		t.Fatal("out-of-range prefix-hit accepted")
 	}
 }

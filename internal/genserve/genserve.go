@@ -60,11 +60,26 @@ type Stats struct {
 	MeanMatchRate float64
 	// MeanScore averages the ROUGE-L / F1 proxy across sequences.
 	MeanScore float64
-	// TotalTokens counts every generated token across sequences.
+	// TotalTokens counts every generated token across sequences. Callers
+	// must not query TPT() percentiles when this is zero (empty stream or
+	// all-zero GenLen): metrics pins Percentile-on-empty as a panic.
 	TotalTokens int
 	// TokensPerSec is the delivered token throughput over the makespan
 	// (first arrival to last sequence completion).
 	TokensPerSec float64
+
+	// KV-block runtime activity; all zero unless a KV knob is set on the
+	// Engine (KVBlocks / PrefixHitRatio / PrefillChunkTokens).
+	//
+	// KVUtil is the time-averaged fraction of the KV pool in use over the
+	// makespan (0 when the pool is unbounded). PrefixHits counts
+	// sequences whose prompt prefix hit the cache. Preemptions counts
+	// preempt-and-requeue events. QueueMS is the mean per-sequence
+	// admission-queue wait, including re-queues after preemption.
+	KVUtil      float64
+	PrefixHits  int
+	Preemptions int
+	QueueMS     float64
 }
 
 // ScoreFromMatchRate maps a token match rate to a sequence-quality score
@@ -120,9 +135,32 @@ type Engine struct {
 	FlushCount int
 	// Metrics selects the TPT recorder implementation (exact | sketch).
 	Metrics metrics.Mode
-	// OnSeq, when non-nil, receives every completed sequence in arrival
-	// order; the engine itself retains none of them.
+	// OnSeq, when non-nil, receives every completed sequence in
+	// completion order; the engine itself retains none of them.
 	OnSeq func(SeqResult)
+
+	// KVBlocks bounds the engine's KV-block pool: a sequence must hold
+	// ⌈(prompt+generated)/BlockTokens⌉ blocks to run, admission blocks
+	// (FIFO) when the pool is exhausted, and growth past the pool
+	// preempts + requeues the youngest running sequence. 0 = unbounded
+	// (the pre-KV engine).
+	KVBlocks int
+	// BlockTokens is the KV-block granularity in tokens; 0 means
+	// DefaultBlockTokens. Meaningful only with KVBlocks > 0.
+	BlockTokens int
+	// PrefixHitRatio is the probability a sequence's prompt prefix is
+	// resident in the prefix cache (hit ⇒ prefill skipped and the cached
+	// blocks are shared, not charged to the sequence). Draws come only
+	// from the dedicated rng.Labeled(Seed, "gen.prefix") stream, so a
+	// ratio of 0 performs no draws at all.
+	PrefixHitRatio float64
+	// PrefillChunkTokens chunks prompts longer than this threshold into
+	// chunks of this size, each its own event on the engine clock, so
+	// long prefills interleave with decode progress instead of being one
+	// opaque lump. 0 = monolithic prefill.
+	PrefillChunkTokens int
+	// Seed drives engine-internal randomness (the gen.prefix stream).
+	Seed uint64
 }
 
 // NewEngine returns an engine with the paper's defaults.
@@ -158,10 +196,16 @@ func (e *Engine) decodeSequence(req workload.GenRequest, pol Policy) ([]TokenRes
 		exit, depth, ohFrac, match := pol.Decide(s)
 		var tpt float64
 		if exit {
-			// Result released at the ramp; remaining layers deferred.
+			// Result released at the ramp; remaining layers deferred. The
+			// eventual catch-up/flush must run every pending token's
+			// remaining layers, so its cost is bounded by the
+			// deepest-exiting (minimum-depth) member of the batch, not
+			// whichever token exited last.
 			tpt = depth*step + ohFrac*step
+			if pending == 0 || depth < pendingDepth {
+				pendingDepth = depth
+			}
 			pending++
-			pendingDepth = depth
 			if pending >= e.FlushCount {
 				// Standalone flush: remaining layers for the batch of
 				// pending tokens run now, delaying the next token.
@@ -184,6 +228,12 @@ func (e *Engine) decodeSequence(req workload.GenRequest, pol Policy) ([]TokenRes
 		total += tpt
 	}
 	if pending > 0 {
+		// Trailing pending tokens still owe their remaining layers: a
+		// standalone flush runs them batched after the last token, so the
+		// sequence occupies its slot (and delays its completion) for that
+		// long. No token's TPT moves — every result was already released
+		// at its ramp — but the decode duration must include it.
+		total += (1 - pendingDepth) * step * (1 + e.Model.BatchBeta*float64(pending-1))
 		pol.ObserveFlush()
 	}
 	return tokens, total
@@ -311,8 +361,14 @@ func (g *genSim) admit(req workload.GenRequest, now float64) {
 // discrete-event engine. A sequence starts at max(its arrival, the
 // earliest slot-free time) — when no slot is idle at arrival, the
 // admission waits for the next completion event, which is exactly the
-// earliest-free-slot rule the standalone heap implemented.
+// earliest-free-slot rule the standalone heap implemented. When any KV
+// knob is set (KVBlocks / PrefixHitRatio / PrefillChunkTokens) the
+// KV-block memory runtime takes over; with all of them zero this path
+// is byte-identical to the pre-KV engine.
 func (e *Engine) Run(stream *workload.GenStream, pol Policy) *Stats {
+	if e.kvActive() {
+		return e.runKV(stream, pol)
+	}
 	g := &genSim{
 		e:     e,
 		pol:   pol,

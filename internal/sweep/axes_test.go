@@ -250,3 +250,122 @@ func TestCSVCarriesLoadDynamicsColumns(t *testing.T) {
 			col("scale_ups"), col("scale_downs"), col("peak_replicas"))
 	}
 }
+
+func TestExpandKVAxes(t *testing.T) {
+	g := Grid{
+		Models:        []string{"t5-large"},
+		Workloads:     []string{"cnn-dailymail"},
+		Platforms:     []string{"clockwork"},
+		KVBlocks:      []int{0, 64},
+		PrefixHits:    []float64{0, 0.5},
+		PrefillChunks: []int{0, 128},
+		GenN:          10,
+	}
+	scs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 8 {
+		t.Fatalf("expanded %d scenarios, want 8 (2 kv x 2 prefix x 2 chunk)", len(scs))
+	}
+	// The empty-axis scenario must have the identity (and so the seed)
+	// it had before the KV axes existed.
+	plain := core.Scenario{Model: "t5-large", Workload: "cnn-dailymail",
+		Platform: "clockwork", N: 10}.Normalize()
+	found := false
+	for _, sc := range scs {
+		if sc.Identity() == plain.Identity() {
+			found = true
+			if sc.Seed != DeriveSeed(g.Seed, plain.Identity()) {
+				t.Fatal("plain generative scenario's derived seed changed")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("plain scenario missing from KV grid")
+	}
+}
+
+func TestKVAxesCollapseOnClassification(t *testing.T) {
+	// Classification scenarios normalize the KV knobs away, so a KV
+	// grid over a classification workload dedups to one scenario.
+	g := Grid{
+		Models:    []string{"resnet18"},
+		Workloads: []string{"video-0"},
+		Platforms: []string{"clockwork"},
+		KVBlocks:  []int{0, 64},
+		N:         100,
+	}
+	scs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 {
+		t.Fatalf("expanded %d scenarios, want 1 (KV axes collapse on classification)", len(scs))
+	}
+}
+
+func TestKVAxisFilters(t *testing.T) {
+	g := Grid{
+		Models:     []string{"t5-large"},
+		Workloads:  []string{"cnn-dailymail"},
+		Platforms:  []string{"clockwork"},
+		KVBlocks:   []int{0, 64, 128},
+		PrefixHits: []float64{0, 0.5},
+		GenN:       10,
+		Only:       []string{"kv=64"},
+		Skip:       []string{"prefixhit=*"},
+	}
+	scs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 {
+		t.Fatalf("filtered grid expanded %d scenarios, want 1 (kv=64, no prefix)", len(scs))
+	}
+	if scs[0].KVBlocks != 64 || scs[0].PrefixHit != 0 {
+		t.Fatalf("filters kept wrong scenario: kv=%d prefixhit=%g", scs[0].KVBlocks, scs[0].PrefixHit)
+	}
+}
+
+func TestCSVCarriesKVColumns(t *testing.T) {
+	res := Result{Result: core.Result{
+		Scenario: core.Scenario{
+			Model: "t5-large", Workload: "cnn-dailymail", N: 10,
+			KVBlocks: 96, BlockTokens: 8, PrefixHit: 0.5, PrefillChunk: 128,
+		}.Normalize(),
+		Generative: true,
+		KVUtil:     0.75, PrefixHits: 4, Preemptions: 2, QueueMS: 120.5,
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(strings.NewReader(buf.String()))
+	rows, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("CSV has %d rows, want header + 1", len(rows))
+	}
+	col := func(name string) string {
+		for i, h := range rows[0] {
+			if h == name {
+				return rows[1][i]
+			}
+		}
+		t.Fatalf("CSV header missing column %q", name)
+		return ""
+	}
+	if col("kv_blocks") != "96" || col("block_tokens") != "8" ||
+		col("prefix_hit") != "0.5" || col("prefill_chunk") != "128" {
+		t.Fatalf("KV scenario columns wrong: %q/%q/%q/%q",
+			col("kv_blocks"), col("block_tokens"), col("prefix_hit"), col("prefill_chunk"))
+	}
+	if col("kv_util") != "0.75" || col("prefix_hits") != "4" ||
+		col("preemptions") != "2" || col("queue_ms") != "120.5" {
+		t.Fatalf("KV result columns wrong: %q/%q/%q/%q",
+			col("kv_util"), col("prefix_hits"), col("preemptions"), col("queue_ms"))
+	}
+}

@@ -71,13 +71,15 @@ func WriteJSON(w io.Writer, results []Result) error {
 var csvHeader = []string{
 	"model", "workload", "platform", "dispatch", "replicas", "n", "seed",
 	"rate_mult", "ramp_budget", "acc_loss", "exit_rule", "metrics",
-	"rate_schedule", "autoscale", "hetero", "faults", "retry", "generative", "slo_ms",
+	"rate_schedule", "autoscale", "hetero", "faults", "retry",
+	"kv_blocks", "block_tokens", "prefix_hit", "prefill_chunk", "generative", "slo_ms",
 	"van_p50_ms", "van_p95_ms", "van_p99_ms", "app_p50_ms", "app_p95_ms", "app_p99_ms",
 	"p50_win_pct", "p95_win_pct", "p99_win_pct",
 	"van_accuracy", "app_accuracy", "acc_delta",
 	"van_throughput", "app_throughput", "app_drop_rate", "app_slo_miss_rate",
 	"van_goodput", "app_goodput", "crashes", "lost", "retries", "hedges",
 	"downtime_ms", "unavail_ms",
+	"kv_util", "prefix_hits", "preemptions", "queue_ms",
 	"tune_rounds", "adjust_rounds", "active_ramps",
 	"scale_ups", "scale_downs", "peak_replicas", "error",
 }
@@ -98,6 +100,8 @@ func WriteCSV(w io.Writer, results []Result) error {
 			strconv.Itoa(sc.Replicas), strconv.Itoa(sc.N), strconv.FormatUint(sc.Seed, 10),
 			ftoa(sc.RateMult), ftoa(sc.RampBudget), ftoa(sc.AccLoss), sc.ExitRule, sc.Metrics,
 			sc.RateSchedule, sc.Autoscale, sc.Hetero, sc.Faults, sc.Retry,
+			strconv.Itoa(sc.KVBlocks), strconv.Itoa(sc.BlockTokens),
+			ftoa(sc.PrefixHit), strconv.Itoa(sc.PrefillChunk),
 			strconv.FormatBool(r.Generative), ftoa(r.SLOms),
 			ftoa(r.Vanilla.P50ms), ftoa(r.Vanilla.P95ms), ftoa(r.Vanilla.P99ms),
 			ftoa(r.Apparate.P50ms), ftoa(r.Apparate.P95ms), ftoa(r.Apparate.P99ms),
@@ -109,6 +113,8 @@ func WriteCSV(w io.Writer, results []Result) error {
 			strconv.Itoa(r.Crashes), strconv.Itoa(r.Lost),
 			strconv.Itoa(r.Retries), strconv.Itoa(r.Hedges),
 			ftoa(r.DowntimeMS), ftoa(r.UnavailMS),
+			ftoa(r.KVUtil), strconv.Itoa(r.PrefixHits),
+			strconv.Itoa(r.Preemptions), ftoa(r.QueueMS),
 			strconv.Itoa(r.TuneRounds), strconv.Itoa(r.AdjustRounds), strconv.Itoa(r.ActiveRamps),
 			strconv.Itoa(r.ScaleUps), strconv.Itoa(r.ScaleDowns), strconv.Itoa(r.PeakReplicas),
 			r.Err,

@@ -61,6 +61,14 @@ type Grid struct {
 	// Retries lists dispatcher retry/hedging specs ("attempts=3",
 	// "attempts=2/hedge=95"); the empty spec dispatches once.
 	Retries []string
+	// KVBlocks, BlockTokens, PrefixHits, and PrefillChunks sweep the
+	// generative KV-block memory runtime (pool size, tokens per block,
+	// prefix-cache hit ratio, chunked-prefill threshold); 0 members are
+	// the pre-KV engine and classification scenarios clear the axes.
+	KVBlocks      []int
+	BlockTokens   []int
+	PrefixHits    []float64
+	PrefillChunks []int
 
 	// Trace and Timeline turn on observability for every expanded
 	// classification scenario (generative scenarios clear them); they
@@ -143,6 +151,18 @@ func (g Grid) withDefaults() Grid {
 	if len(g.Retries) == 0 {
 		g.Retries = []string{""}
 	}
+	if len(g.KVBlocks) == 0 {
+		g.KVBlocks = []int{0}
+	}
+	if len(g.BlockTokens) == 0 {
+		g.BlockTokens = []int{0}
+	}
+	if len(g.PrefixHits) == 0 {
+		g.PrefixHits = []float64{0}
+	}
+	if len(g.PrefillChunks) == 0 {
+		g.PrefillChunks = []int{0}
+	}
 	if g.N == 0 {
 		g.N = 4000
 	}
@@ -200,6 +220,18 @@ func axisTokens(sc core.Scenario) map[string]string {
 	}
 	if sc.Retry != "" {
 		t["retry"] = sc.Retry
+	}
+	if sc.KVBlocks != 0 {
+		t["kv"] = fmt.Sprintf("%d", sc.KVBlocks)
+	}
+	if sc.BlockTokens != 0 {
+		t["blocktok"] = fmt.Sprintf("%d", sc.BlockTokens)
+	}
+	if sc.PrefixHit != 0 {
+		t["prefixhit"] = fmt.Sprintf("%g", sc.PrefixHit)
+	}
+	if sc.PrefillChunk != 0 {
+		t["prefillchunk"] = fmt.Sprintf("%d", sc.PrefillChunk)
 	}
 	return t
 }
@@ -310,6 +342,23 @@ func (g Grid) Expand() ([]core.Scenario, error) {
 			faultAxes = append(faultAxes, faultAxis{flt, rty})
 		}
 	}
+	// The four KV-runtime axes expand the same way, as one precomputed
+	// product.
+	type kvAxis struct {
+		blocks, blockTok int
+		prefix           float64
+		chunk            int
+	}
+	kvAxes := make([]kvAxis, 0, len(g.KVBlocks)*len(g.BlockTokens)*len(g.PrefixHits)*len(g.PrefillChunks))
+	for _, kb := range g.KVBlocks {
+		for _, bt := range g.BlockTokens {
+			for _, ph := range g.PrefixHits {
+				for _, pc := range g.PrefillChunks {
+					kvAxes = append(kvAxes, kvAxis{kb, bt, ph, pc})
+				}
+			}
+		}
+	}
 	var out []core.Scenario
 	var ids []string // out[i]'s identity, kept for the final sort
 	for _, mName := range g.Models {
@@ -333,32 +382,36 @@ func (g Grid) Expand() ([]core.Scenario, error) {
 												for _, as := range g.Autoscales {
 													for _, het := range g.Heteros {
 														for _, fr := range faultAxes {
-															sc := core.Scenario{
-																Model: mName, Workload: wl,
-																Platform: plat, Dispatch: disp, Replicas: rep,
-																N: n, RateMult: rate,
-																RampBudget: budget, AccLoss: accLoss,
-																ExitRule: rule, Metrics: mm,
-																RateSchedule: sched, Autoscale: as,
-																Hetero: het, Faults: fr.faults, Retry: fr.retry,
-																Trace: g.Trace, Timeline: g.Timeline,
-																ObsTickMS: g.ObsTickMS,
-															}.Normalize()
-															id := sc.Identity()
-															if seen[id] {
-																continue
+															for _, kv := range kvAxes {
+																sc := core.Scenario{
+																	Model: mName, Workload: wl,
+																	Platform: plat, Dispatch: disp, Replicas: rep,
+																	N: n, RateMult: rate,
+																	RampBudget: budget, AccLoss: accLoss,
+																	ExitRule: rule, Metrics: mm,
+																	RateSchedule: sched, Autoscale: as,
+																	Hetero: het, Faults: fr.faults, Retry: fr.retry,
+																	KVBlocks: kv.blocks, BlockTokens: kv.blockTok,
+																	PrefixHit: kv.prefix, PrefillChunk: kv.chunk,
+																	Trace: g.Trace, Timeline: g.Timeline,
+																	ObsTickMS: g.ObsTickMS,
+																}.Normalize()
+																id := sc.Identity()
+																if seen[id] {
+																	continue
+																}
+																seen[id] = true
+																tokens := axisTokens(sc)
+																if !only.keep(tokens) || skip.drops(tokens) {
+																	continue
+																}
+																if err := sc.Validate(); err != nil {
+																	return nil, err
+																}
+																sc.Seed = DeriveSeed(g.Seed, id)
+																out = append(out, sc)
+																ids = append(ids, id)
 															}
-															seen[id] = true
-															tokens := axisTokens(sc)
-															if !only.keep(tokens) || skip.drops(tokens) {
-																continue
-															}
-															if err := sc.Validate(); err != nil {
-																return nil, err
-															}
-															sc.Seed = DeriveSeed(g.Seed, id)
-															out = append(out, sc)
-															ids = append(ids, id)
 														}
 													}
 												}

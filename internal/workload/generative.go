@@ -81,6 +81,16 @@ func (s *GenStream) Prefix(n int) []GenRequest {
 // Materialize generates the full request slice (compatibility shim).
 func (s *GenStream) Materialize() []GenRequest { return s.Prefix(s.n) }
 
+// GenFromSlice wraps an explicit request slice in a GenStream — the
+// generative counterpart of FromSlice, for tests and custom traces.
+// Requests must already be in arrival order.
+func GenFromSlice(name string, kind exitsim.Kind, reqs []GenRequest) *GenStream {
+	cp := append([]GenRequest(nil), reqs...)
+	return &GenStream{Name: name, Kind: kind, n: len(cp), gen: func() func(i int) GenRequest {
+		return func(i int) GenRequest { return cp[i] }
+	}}
+}
+
 // TokenSampler produces the per-token samples of one sequence. Token
 // difficulties follow an AR(1) around the sequence's base difficulty:
 // auto-regressive generation gives tokens high continuity (§4.3), which

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-cluster bench-faults bench-obs bench-stream bench-gen bench-all sweep-smoke mem-smoke golden ci
+.PHONY: build test vet race bench bench-cluster bench-faults bench-obs bench-stream bench-gen bench-shards bench-all sweep-smoke mem-smoke mem-soak golden ci
 
 # Stamps the measurement provenance — commit, toolchain, machine — into
 # a freshly regenerated BENCH_*.json, so numbers from different epochs
@@ -29,7 +29,9 @@ race:
 	$(GO) test -race ./internal/sweep/... ./internal/serving/... ./internal/autoscale/... ./internal/core/... ./internal/engine/... ./internal/faults/... ./internal/obs/... ./internal/genserve/...
 	$(GO) run -race ./cmd/apparate-sweep -models resnet18,resnet50 -workloads video-0 \
 		-replicas 4 -dispatch round-robin -shards 4 -n 1500 -seed 5 -quiet >/dev/null
-	@echo "race: clean (incl. shards=4 engine loops under parallel sweep workers)"
+	$(GO) run -race ./cmd/apparate-sweep -models resnet18,resnet50 -workloads video-0 \
+		-replicas 4 -dispatch least-loaded -shards 4 -n 1500 -seed 5 -quiet >/dev/null
+	@echo "race: clean (incl. shards=4 replay and lookahead-dispatcher loops under parallel sweep workers)"
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -225,9 +227,28 @@ bench-gen:
 	  END { printf("\n  ]\n}\n") }' /tmp/bench_gen.txt >> BENCH_gen.json
 	@echo "bench-gen: wrote BENCH_gen.json"
 
+# Shard-speedup benchmark: the cluster grid at shards=1 vs
+# shards=GOMAXPROCS for round-robin (replay mode) and least-loaded
+# (conservative-lookahead dispatcher mode), 8 replicas, 100k requests,
+# emitted as BENCH_shards.json. The cpu count is stamped as its own
+# field on top of the shared machine provenance because it is the
+# variable that decides what these rows mean: on a 1-cpu container the
+# sharded rows only show the coordination-overhead side (the
+# dispatcher's shadow simulation is extra total work that free cores
+# would absorb); the speedup side needs multi-core hardware.
+bench-shards:
+	$(GO) test -run '^$$' -bench BenchmarkShardSpeedup -benchtime 5x . | tee /tmp/bench_shards.txt
+	@printf '{\n  "description": "BenchmarkShardSpeedup: serving.RunCluster over 100k requests on 8 replicas at shards=1 vs shards=GOMAXPROCS (min 2), round-robin and least-loaded. Results are byte-identical to serial in both modes; rows measure wall-clock only. Interpret against the cpus field: 1 cpu measures coordination overhead, the speedup side needs cores. Regenerate with make bench-shards.",\n' > BENCH_shards.json
+	@printf '  "cpus": %s,\n' "$$(nproc)" >> BENCH_shards.json
+	@$(call bench_meta,BENCH_shards.json)
+	@awk 'BEGIN { printf("  \"results\": [\n") } \
+	  /^BenchmarkShardSpeedup\// { sub(/^BenchmarkShardSpeedup\//, "", $$1); sub(/-[0-9]+$$/, "", $$1); printf("%s    {\"case\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, $$1, $$2, $$3, $$5, $$7); sep=",\n" } \
+	  END { printf("\n  ]\n}\n") }' /tmp/bench_shards.txt >> BENCH_shards.json
+	@echo "bench-shards: wrote BENCH_shards.json"
+
 # Regenerate every BENCH_*.json in one shot, all stamped with the same
 # commit/machine metadata.
-bench-all: bench-cluster bench-faults bench-obs bench-stream bench-gen
+bench-all: bench-cluster bench-faults bench-obs bench-stream bench-gen bench-shards
 
 # A 24+-scenario mixed grid at -workers 8, then the determinism gate:
 # the same grid at -workers 1 must emit byte-identical JSON.
@@ -278,6 +299,16 @@ SHARDS_FLAGS = -models resnet18,resnet50 -workloads video-0,video-1 \
 	-replicas 2,4 -dispatch round-robin -metrics exact,sketch \
 	-n 1500 -seed 5 -quiet
 
+# Queue-state sharded grid (least-loaded and join-shortest-queue
+# multi-replica points, homogeneous and heterogeneous): -shards 4
+# routes the vanilla run of each scenario through the conservative-
+# lookahead dispatcher (the adaptive Apparate run falls back serial)
+# and must emit byte-identical JSON to the serial run.
+SHARDS_QS_FLAGS = -models resnet18,resnet50 -workloads video-0,video-1 \
+	-replicas 2,4 -dispatch least-loaded,join-shortest-queue \
+	-hetero '1;1,0.5' -metrics exact,sketch \
+	-n 1500 -seed 5 -quiet
+
 sweep-smoke:
 	$(GO) run ./cmd/apparate-sweep $(SMOKE_FLAGS) -workers 8 -out /tmp/sweep-w8.json
 	$(GO) run ./cmd/apparate-sweep $(SMOKE_FLAGS) -workers 1 -out /tmp/sweep-w1.json >/dev/null
@@ -305,7 +336,10 @@ sweep-smoke:
 	$(GO) run ./cmd/apparate-sweep $(SHARDS_FLAGS) -workers 8 -out /tmp/sweep-sh1.json >/dev/null
 	$(GO) run ./cmd/apparate-sweep $(SHARDS_FLAGS) -shards 4 -workers 8 -out /tmp/sweep-sh4.json >/dev/null
 	cmp /tmp/sweep-sh1.json /tmp/sweep-sh4.json
-	@echo "sweep-smoke: deterministic across worker counts (exact + sketch, incl. autoscale, faulty, traced, and generative-KV grids) and shard counts"
+	$(GO) run ./cmd/apparate-sweep $(SHARDS_QS_FLAGS) -workers 8 -out /tmp/sweep-shqs0.json >/dev/null
+	$(GO) run ./cmd/apparate-sweep $(SHARDS_QS_FLAGS) -shards 4 -workers 8 -out /tmp/sweep-shqs4.json >/dev/null
+	cmp /tmp/sweep-shqs0.json /tmp/sweep-shqs4.json
+	@echo "sweep-smoke: deterministic across worker counts (exact + sketch, incl. autoscale, faulty, traced, and generative-KV grids) and shard counts (replay + lookahead modes)"
 
 # Memory guard: one 10,000,000-request scheduled-rate scenario in
 # sketch mode must complete under a 256 MiB soft heap limit with a
@@ -317,6 +351,13 @@ sweep-smoke:
 APPARATE_MEM_N ?= 10000000
 mem-smoke:
 	GOMEMLIMIT=256MiB APPARATE_MEM_GUARD=1 APPARATE_MEM_N=$(APPARATE_MEM_N) $(GO) test -run TestStreamingMillionBoundedMemory -v .
+
+# The 100M-request soak named in ROADMAP item 4: the same bounded-heap
+# assertion as mem-smoke at 10x the requests (~9 min on the bench
+# machine). Not part of ci — run it before claiming production-scale
+# memory behavior.
+mem-soak:
+	GOMEMLIMIT=256MiB APPARATE_MEM_GUARD=1 APPARATE_MEM_N=100000000 $(GO) test -run TestStreamingMillionBoundedMemory -v -timeout 30m .
 
 # Refresh the pinned golden sweep CSV (testdata/golden_sweep.csv) after
 # an intentional behavior change; review the diff like code.

@@ -1,0 +1,60 @@
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/serving"
+	"repro/internal/workload"
+)
+
+// BenchmarkShardSpeedup measures what intra-scenario sharding buys in
+// wall-clock: the same 8-replica, 100k-request cluster at shards=1
+// (serial) vs shards=GOMAXPROCS, for round-robin (replay mode — shards
+// are fully decoupled) and least-loaded (conservative-lookahead mode —
+// a dispatcher shard resolves every queue-state decision while worker
+// shards simulate their replica groups). Results are byte-identical to
+// serial in both modes (TestShardedClusterByteIdentity); only the
+// wall-clock differs. On a single-cpu machine the sharded rows can only
+// show the coordination overhead side — the dispatcher's shadow
+// simulation roughly doubles least-loaded's total work, which free
+// cores absorb — so `make bench-shards` stamps the cpu count into
+// BENCH_shards.json and the speedup side needs multi-core hardware.
+func BenchmarkShardSpeedup(b *testing.B) {
+	const n = 100_000
+	const replicas = 8
+	m := model.ResNet18()
+	high := runtime.GOMAXPROCS(0)
+	if high < 2 {
+		high = 2 // a 1-cpu machine still measures the overhead side at 2 shards
+	}
+	if high > replicas {
+		high = replicas
+	}
+	for _, disp := range []serving.Dispatch{serving.RoundRobin, serving.LeastLoaded} {
+		for _, shards := range []int{1, high} {
+			name := fmt.Sprintf("dispatch=%s/replicas=%d/shards=%d", disp, replicas, shards)
+			b.Run(name, func(b *testing.B) {
+				s := workload.Video(0, n, 30*replicas, 9)
+				opts := serving.ClusterOptions{
+					Options:  serving.Options{Platform: serving.Clockwork, SLOms: m.SLO()},
+					Replicas: replicas,
+					Dispatch: disp,
+					Shards:   shards,
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cs := serving.RunCluster(s, func(int) serving.Handler {
+						return &serving.VanillaHandler{Model: m}
+					}, opts)
+					if cs.Merged.Total != n {
+						b.Fatalf("cluster served %d requests, want %d", cs.Merged.Total, n)
+					}
+				}
+			})
+		}
+	}
+}

@@ -132,7 +132,7 @@ func main() {
 		only       = flag.String("only", "", "comma-separated include globs over axis tokens (e.g. 'model=resnet*,workload=video-0'); use ';' separators when a pattern contains commas (e.g. 'hetero=1,0.5;'), '|' when it contains semicolons (e.g. 'faults=mtbf:*;loss=*|')")
 		skip       = flag.String("skip", "", "comma-separated exclude globs over axis tokens; ';' separators when a pattern contains commas, '|' when it contains semicolons")
 		workers    = flag.Int("workers", 0, "concurrent scenario executions (0 = GOMAXPROCS)")
-		shards     = flag.Int("shards", 0, "parallel engine shards inside each round-robin cluster scenario (0/1 = serial; output is byte-identical either way)")
+		shards     = flag.Int("shards", 0, "parallel engine shards inside each cluster scenario (round-robin replays, least-loaded/JSQ run the lookahead dispatcher, unsupported configs fall back serial; 0/1 = serial; output is byte-identical either way)")
 		out        = flag.String("out", "", "write results to this file (format from -format)")
 		format     = flag.String("format", "json", "output format for -out: json | csv")
 		rank       = flag.String("rank", "p99", "table ranking metric: "+strings.Join(sweep.RankMetrics(), " | "))

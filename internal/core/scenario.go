@@ -120,11 +120,14 @@ type Scenario struct {
 	Timeline  bool    `json:"timeline,omitempty"`
 	ObsTickMS float64 `json:"obs_tick_ms,omitempty"`
 	// Shards, when > 1, runs the scenario's replica groups on parallel
-	// engine loops with a deterministic merge. It is an execution knob,
-	// not a scenario axis: results are byte-identical at any shard
-	// count (configurations sharding cannot decompose exactly silently
-	// run serial), so Shards never enters Identity or the result JSON
-	// — like Trace/Timeline it cannot shift a seed or an outcome.
+	// engine loops with a deterministic merge — round-robin clusters
+	// shard by stream replay, queue-state dispatch (least-loaded / JSQ)
+	// by the conservative-lookahead dispatcher protocol. It is an
+	// execution knob, not a scenario axis: results are byte-identical
+	// at any shard count (configurations sharding cannot decompose
+	// exactly run serial, reported via Result.*ShardMode), so Shards
+	// never enters Identity or the result JSON — like Trace/Timeline it
+	// cannot shift a seed or an outcome.
 	Shards int `json:"-"`
 }
 
@@ -361,6 +364,18 @@ type Result struct {
 	PrefixHits  int     `json:"prefix_hits,omitempty"`
 	Preemptions int     `json:"preemptions,omitempty"`
 	QueueMS     float64 `json:"queue_ms,omitempty"`
+
+	// VanillaShardMode and ApparateShardMode report how each
+	// classification run actually executed under Scenario.Shards
+	// (serving.ClusterStats.ShardMode): "replay:N"/"lookahead:N" when
+	// it sharded, "serial:<reason>" when it fell back. The two can
+	// differ — vanilla handlers are latency-stable so queue-state
+	// dispatch shards, while the adaptive Apparate run serializes.
+	// Excluded from JSON like Shards itself: execution mode never
+	// enters sweep output, which is what keeps sharded runs
+	// byte-identical to serial ones. Empty for generative scenarios.
+	VanillaShardMode  string `json:"-"`
+	ApparateShardMode string `json:"-"`
 }
 
 // kindFor maps a workload name to its calibration kind.
@@ -568,6 +583,11 @@ func runClassScenario(sc Scenario, od *ObsData) (*Result, error) {
 	}
 
 	if sc.Replicas == 1 && sc.Autoscale == "" && sc.Faults == "" && sc.Retry == "" {
+		res.VanillaShardMode, res.ApparateShardMode = "serial", "serial"
+		if sc.Shards > 1 {
+			res.VanillaShardMode = "serial:single-replica"
+			res.ApparateShardMode = "serial:single-replica"
+		}
 		sys := New(m, kind, cfg)
 		res.SLOms = sys.Opts.SLOms
 		v := sys.ServeVanilla(stream)
@@ -646,6 +666,7 @@ func runClassScenario(sc Scenario, od *ObsData) (*Result, error) {
 		opts.Options.Trace, opts.Options.Timeline = od.Trace, od.Timeline
 	}
 	a := serving.RunCluster(stream, mkApparate, opts)
+	res.VanillaShardMode, res.ApparateShardMode = v.ShardMode, a.ShardMode
 	fillClass(res, v.Merged, a.Merged)
 	if a.Faults != nil {
 		res.Crashes = a.Faults.Crashes

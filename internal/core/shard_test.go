@@ -8,31 +8,67 @@ import (
 // TestRunScenarioShardsByteIdentity pins Shards as a pure execution
 // knob: the full marshaled Result — every stat the sweep writes to disk
 // — must be byte-identical with sharding on and off, so a sweep run at
-// any shard count reproduces the committed golden output exactly.
+// any shard count reproduces the committed golden output exactly. The
+// grid covers both parallel modes (round-robin replay; least-loaded and
+// join-shortest-queue under the conservative-lookahead dispatcher),
+// heterogeneous speeds, and an uneven replica/shard split, and checks
+// the reported shard modes: the vanilla baseline shards queue-state
+// dispatch (latency-stable handlers) while the adaptive Apparate run
+// falls back to serial — with identical bytes either way.
 func TestRunScenarioShardsByteIdentity(t *testing.T) {
-	sc := Scenario{
-		Model: "resnet50", Workload: "video-0", N: 3000, Seed: 7,
-		Replicas: 4, Dispatch: "round-robin",
+	cases := []struct {
+		name         string
+		mod          func(*Scenario)
+		vanillaMode  string
+		apparateMode string
+	}{
+		{"round-robin", func(sc *Scenario) {}, "replay:4", "replay:4"},
+		{"least-loaded", func(sc *Scenario) { sc.Dispatch = "least-loaded" },
+			"lookahead:4", "serial:adaptive-handler"},
+		{"jsq-hetero-uneven", func(sc *Scenario) {
+			sc.Dispatch = "join-shortest-queue"
+			sc.Replicas = 5
+			sc.Hetero = "1,0.5"
+		}, "lookahead:4", "serial:adaptive-handler"},
 	}
-	serial, err := RunScenario(sc)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sc.Shards = 4
-	sharded, err := RunScenario(sc)
-	if err != nil {
-		t.Fatal(err)
-	}
-	a, err := json.Marshal(serial)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := json.Marshal(sharded)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if string(a) != string(b) {
-		t.Fatalf("sharded Result diverges from serial:\n serial:  %s\n sharded: %s", a, b)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := Scenario{
+				Model: "resnet50", Workload: "video-0", N: 3000, Seed: 7,
+				Replicas: 4, Dispatch: "round-robin",
+			}
+			tc.mod(&sc)
+			serial, err := RunScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Shards = 4
+			sharded, err := RunScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.VanillaShardMode != "serial" || serial.ApparateShardMode != "serial" {
+				t.Fatalf("serial run reported modes %q/%q",
+					serial.VanillaShardMode, serial.ApparateShardMode)
+			}
+			if sharded.VanillaShardMode != tc.vanillaMode {
+				t.Fatalf("vanilla shard mode %q, want %q", sharded.VanillaShardMode, tc.vanillaMode)
+			}
+			if sharded.ApparateShardMode != tc.apparateMode {
+				t.Fatalf("apparate shard mode %q, want %q", sharded.ApparateShardMode, tc.apparateMode)
+			}
+			a, err := json.Marshal(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(sharded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(a) != string(b) {
+				t.Fatalf("sharded Result diverges from serial:\n serial:  %s\n sharded: %s", a, b)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,38 @@
+package metrics
+
+// Discard is a Recorder that drops every sample and reports itself
+// empty. The conservative-lookahead sharded runtime records the
+// dispatcher shard's shadow replicas into it: the shadow simulation
+// exists only for its control-plane decisions, so keeping its samples
+// would double latency memory (and, in exact mode, break the
+// O(queue)-not-O(trace) bound) for numbers that are thrown away.
+type Discard struct{}
+
+// Add drops the sample.
+func (Discard) Add(float64) {}
+
+// Len reports zero samples.
+func (Discard) Len() int { return 0 }
+
+// Percentile panics like any empty recorder would be queried in error.
+func (Discard) Percentile(float64) float64 {
+	panic("metrics: Percentile on a Discard recorder")
+}
+
+// Median panics; Discard holds no samples.
+func (Discard) Median() float64 { panic("metrics: Median on a Discard recorder") }
+
+// Mean panics; Discard holds no samples.
+func (Discard) Mean() float64 { panic("metrics: Mean on a Discard recorder") }
+
+// Min panics; Discard holds no samples.
+func (Discard) Min() float64 { panic("metrics: Min on a Discard recorder") }
+
+// Max panics; Discard holds no samples.
+func (Discard) Max() float64 { panic("metrics: Max on a Discard recorder") }
+
+// Summarize panics; Discard holds no samples.
+func (Discard) Summarize() Summary { panic("metrics: Summarize on a Discard recorder") }
+
+// Merge drops the other recorder's samples.
+func (Discard) Merge(Recorder) {}

@@ -1,0 +1,29 @@
+package metrics
+
+import "testing"
+
+// TestDiscardRecorder pins the null recorder: samples vanish, the
+// recorder stays empty, and merging from it is a no-op — so a shadow
+// replica recorded into Discard can never leak into merged cluster
+// stats (mergeStats skips empty recorders).
+func TestDiscardRecorder(t *testing.T) {
+	var d Discard
+	for i := 0; i < 1000; i++ {
+		d.Add(float64(i))
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Discard.Len() = %d, want 0", d.Len())
+	}
+	real := NewRecorder(ModeExact, 4)
+	real.Add(1)
+	d.Merge(real)
+	if d.Len() != 0 {
+		t.Fatalf("Discard.Merge retained samples: Len = %d", d.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile on Discard did not panic")
+		}
+	}()
+	d.Percentile(99)
+}

@@ -154,10 +154,15 @@ type ClusterOptions struct {
 	ReplicaObserver func(replica int, r Result)
 	// Shards, when > 1, runs the scenario's replica groups on that many
 	// independent engine loops in parallel, merged deterministically so
-	// the output is byte-identical to the serial run. Sharding is only
-	// exact for round-robin dispatch on a fixed-width reliable cluster
-	// (every other configuration couples replicas through shared state
-	// at dispatch time); unshardable configurations silently run serial,
+	// the output is byte-identical to the serial run. Two parallel modes
+	// exist: round-robin clusters decouple completely (each shard
+	// replays the arrival stream and keeps its own targets), and
+	// queue-state dispatch (least-loaded / join-shortest-queue) over
+	// latency-stable handlers runs under a conservative-lookahead
+	// dispatcher shard that reproduces the serial decision sequence
+	// exactly. Every other configuration — autoscale, faults, retry,
+	// observability sinks, or handlers that adapt their latency online
+	// — runs serial, and ClusterStats.ShardMode reports which path ran,
 	// so Shards never changes results — it only changes wall-clock.
 	Shards int
 }
@@ -174,6 +179,14 @@ type ClusterStats struct {
 	// Faults reports availability under the injected fault model (nil
 	// when the run had no fault mode active).
 	Faults *FaultStats
+	// ShardMode reports how the run actually executed, so a silent
+	// serial fallback is distinguishable from a sharded run: "serial"
+	// (Shards <= 1), "replay:N" (round-robin decoupled shards),
+	// "lookahead:N" (conservative-lookahead dispatcher + N worker
+	// shards), or "serial:<reason>" when Shards > 1 fell back —
+	// "serial:autoscale", "serial:faults", "serial:retry", "serial:obs",
+	// "serial:single-replica", "serial:adaptive-handler".
+	ShardMode string
 }
 
 // Event classes on the shared engine loop. Arrivals rank before replica
@@ -210,6 +223,9 @@ func (h *scaledHandler) Serve(s exitsim.Sample, b int) ramp.Outcome {
 	out.ServeMS /= h.speed
 	return out
 }
+
+// LatencyStable delegates: scaling by a constant preserves stability.
+func (h *scaledHandler) LatencyStable() bool { return latencyStable(h.Handler) }
 
 // replicaSim is one replica on the shared event loop: its own handler,
 // queue, GPU-busy horizon, and Stats. Batching policy decisions re-run
@@ -524,6 +540,16 @@ type clusterSim struct {
 	active   int
 	rr       int // round-robin arrival counter
 
+	// asnPublish and asnNext are the conservative-lookahead dispatch
+	// hooks (both nil outside lookahead-sharded runs, so the serial hot
+	// path pays two predictable nil checks). The dispatcher shard
+	// publishes every target it picks through asnPublish; worker shards
+	// consume targets through asnNext instead of computing dispatch
+	// locally, so every worker applies exactly the dispatcher's — and
+	// therefore the serial run's — decision sequence.
+	asnPublish func(int)
+	asnNext    func() int
+
 	// fm is the fault runtime (nil for reliable runs — every fault-mode
 	// branch in the hot path is guarded on it, which is what keeps
 	// fault-free runs byte-identical to the pre-fault simulator).
@@ -601,11 +627,13 @@ func (c *clusterSim) onArrival(now float64) {
 	}
 	if c.fm != nil {
 		c.fm.dispatchNew(req, now)
-	} else if target := c.dispatch(now); c.replicas[target] == nil {
-		// Sharded-mode worker: another shard owns this arrival. The
-		// dispatch call above already advanced the round-robin counter,
-		// and the stream cursor advances below — all the global state a
-		// foreign arrival touches in the serial run.
+	} else if target := c.pickTarget(now); c.replicas[target] == nil {
+		// Sharded-mode worker: another shard owns this arrival. In
+		// replay mode the dispatch call above already advanced the
+		// round-robin counter; in lookahead mode the assignment stream
+		// consumed one decision. The stream cursor advances below —
+		// that is all the global state a foreign arrival touches in
+		// the serial run.
 	} else {
 		if c.tr != nil {
 			e := obs.At(now, obs.KindDispatch)
@@ -628,6 +656,25 @@ func (c *clusterSim) onArrival(now float64) {
 	if c.has {
 		c.loop.Schedule(c.next.ArrivalMS, classArrival, c, 0, 0)
 	}
+}
+
+// pickTarget resolves one arrival's dispatch target: locally via the
+// policy, or — in a lookahead-sharded worker — by consuming the
+// dispatcher shard's published decision (the worker cannot compute
+// queue-state dispatch itself, its foreign replicas are nil). The
+// dispatcher side publishes what it picked so workers replay the
+// identical sequence.
+func (c *clusterSim) pickTarget(now float64) int {
+	var target int
+	if c.asnNext != nil {
+		target = c.asnNext()
+	} else {
+		target = c.dispatch(now)
+	}
+	if c.asnPublish != nil {
+		c.asnPublish(target)
+	}
+	return target
 }
 
 // dispatch picks the target among the active replicas at time now.
@@ -825,9 +872,36 @@ func RunCluster(stream *workload.Stream, makeHandler func(i int) Handler, opts C
 	if opts.Autoscale == nil && opts.Replicas <= 0 {
 		panic("serving: RunCluster needs at least one replica")
 	}
-	if shardable(opts) {
+	mode, reason := shardPlan(opts)
+	switch mode {
+	case shardReplay:
 		return runShardedCluster(stream, makeHandler, opts)
+	case shardLookahead:
+		// Handlers are built serially in replica order before the
+		// stability check — the serial run's creation order — and
+		// whichever path runs below reuses them, so a fallback here is
+		// still byte-identical to a plain serial run.
+		handlers := make([]Handler, opts.Replicas)
+		stable := true
+		for i := range handlers {
+			handlers[i] = makeHandler(i)
+			stable = stable && latencyStable(handlers[i])
+		}
+		if stable {
+			return runLookaheadCluster(stream, handlers, opts)
+		}
+		cs := runSerialCluster(stream, func(i int) Handler { return handlers[i] }, opts)
+		cs.ShardMode = "serial:adaptive-handler"
+		return cs
 	}
+	cs := runSerialCluster(stream, makeHandler, opts)
+	cs.ShardMode = reason
+	return cs
+}
+
+// runSerialCluster is the single-loop cluster runtime — the reference
+// semantics every sharded mode must reproduce byte for byte.
+func runSerialCluster(stream *workload.Stream, makeHandler func(i int) Handler, opts ClusterOptions) *ClusterStats {
 	c := &clusterSim{
 		loop: engine.New(),
 		opts: opts,
@@ -914,26 +988,52 @@ func RunCluster(stream *workload.Stream, makeHandler func(i int) Handler, opts C
 	return cs
 }
 
-// shardable reports whether sharded execution is exact for this
-// configuration. Round-robin is the one dispatch policy that never
-// reads replica state, so replica groups decouple completely once each
-// shard replays the full arrival stream (the stream cursor and the
-// round-robin counter are the only shared state, and replaying
-// reproduces both). Everything else couples replicas at dispatch time
-// — queue-state policies, the autoscaler's windows, the fault
-// arbiter, retry/hedging — or observes the run through order-sensitive
-// sinks, so those configurations run serial and Shards is a no-op.
-func shardable(opts ClusterOptions) bool {
-	return opts.Shards > 1 &&
-		opts.Replicas > 1 &&
-		opts.Dispatch == RoundRobin &&
-		opts.Autoscale == nil &&
-		opts.Faults.Empty() &&
-		!opts.Retry.Enabled() &&
-		opts.Trace == nil &&
-		opts.Timeline == nil &&
-		opts.Observer == nil &&
-		opts.ReplicaObserver == nil
+// Shard-execution modes, as classified by shardPlan.
+const (
+	// shardSerial: run on one loop (the reason string says why).
+	shardSerial = iota
+	// shardReplay: round-robin decoupled shards — targets are a pure
+	// function of arrival index, so shards need no communication.
+	shardReplay
+	// shardLookahead: queue-state dispatch under the conservative-
+	// lookahead dispatcher protocol (still subject to the handler
+	// latency-stability check, which needs the handlers built).
+	shardLookahead
+)
+
+// shardPlan classifies how this configuration may execute, with the
+// fallback reason for the serial cases. Round-robin never reads replica
+// state, so replica groups decouple completely once each shard replays
+// the full arrival stream. Least-loaded and join-shortest-queue read
+// cross-replica queue state at every arrival, but dispatch decisions
+// happen only at arrivals and a request assigned at t cannot complete
+// before t plus the smallest batch service time — the classic
+// conservative-lookahead condition — so a dispatcher shard can resolve
+// every assignment exactly while worker shards simulate their replica
+// groups in parallel (runLookaheadCluster). The autoscaler's windows,
+// the fault arbiter, retry/hedging, and order-sensitive observer sinks
+// still couple replicas beyond what the lookahead bound covers, so
+// those configurations run serial and Shards is a no-op.
+func shardPlan(opts ClusterOptions) (int, string) {
+	switch {
+	case opts.Shards <= 1:
+		return shardSerial, "serial"
+	case opts.Autoscale != nil:
+		return shardSerial, "serial:autoscale"
+	case !opts.Faults.Empty():
+		return shardSerial, "serial:faults"
+	case opts.Retry.Enabled():
+		return shardSerial, "serial:retry"
+	case opts.Trace != nil || opts.Timeline != nil ||
+		opts.Observer != nil || opts.ReplicaObserver != nil:
+		return shardSerial, "serial:obs"
+	case opts.Replicas <= 1:
+		return shardSerial, "serial:single-replica"
+	case opts.Dispatch == RoundRobin:
+		return shardReplay, ""
+	default:
+		return shardLookahead, ""
+	}
 }
 
 // runShardedCluster is the parallel mode inside one scenario: replica
@@ -991,7 +1091,10 @@ func runShardedCluster(stream *workload.Stream, makeHandler func(i int) Handler,
 
 	// Merge in global replica order — the same float-addition order as
 	// the serial run's merge loop, so aggregates match bit for bit.
-	cs := &ClusterStats{PerReplica: make([]*Stats, nrep)}
+	cs := &ClusterStats{
+		PerReplica: make([]*Stats, nrep),
+		ShardMode:  "replay:" + strconv.Itoa(shards),
+	}
 	merged := &Stats{Lat: metrics.NewRecorder(base.Metrics, 4096)}
 	var batches metrics.Counter
 	for i := 0; i < nrep; i++ {

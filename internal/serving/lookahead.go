@@ -1,0 +1,269 @@
+package serving
+
+import (
+	"math"
+	"strconv"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/exitsim"
+	"repro/internal/metrics"
+	"repro/internal/ramp"
+	"repro/internal/workload"
+)
+
+// Conservative-lookahead sharding for queue-state dispatch.
+//
+// Least-loaded and join-shortest-queue read every replica's queue state
+// at every arrival, so replica groups cannot decouple the way
+// round-robin shards do. But the coupling is one-directional and
+// bounded: dispatch decisions happen only at arrival events, the
+// signals they read (busy remainder, batched drain estimate, queue
+// length) are pure functions of earlier dispatch decisions plus the
+// replicas' frozen latency tables, and a request assigned at time t
+// cannot complete before t plus the smallest batch-1 service time —
+// the classic parallel-DES lookahead bound.
+//
+// The design realizes that bound as a pipeline:
+//
+//   - A designated dispatcher shard runs a full control-plane replica
+//     of the cluster: every replica present, but its handler replaced
+//     by a shadowHandler (the real handler's latency table frozen at
+//     start of run — legal exactly because every handler declared
+//     LatencyStable) and its stats recorded into metrics.Discard.
+//     Serve outcomes never influence scheduling, so this shadow
+//     simulation makes bit-for-bit the decision sequence the serial run
+//     makes, including every within-epoch state transition (clockwork
+//     drops, SLO-limited batch picks, catch-up holds, TF-Serve timeout
+//     flushes) that a snapshot-only protocol would miss.
+//   - The dispatcher paces its loop in lookahead-bounded epochs via
+//     engine.RunUntil and publishes the epoch's resolved assignments as
+//     a block at each epoch barrier (or earlier when a block fills
+//     under burst).
+//   - Worker shards own replica group g = {i : i % workers == g}, each
+//     replaying the full arrival stream exactly like replay-mode shards
+//     — the shared one-request lookahead replicas peek at must match
+//     the serial run — but consuming the dispatcher's published target
+//     for every arrival instead of dispatching locally.
+//   - The merge walks replicas in global index order, the serial run's
+//     float-addition order.
+//
+// Progress is deadlock-free by construction: the dispatcher only ever
+// blocks on a full assignment channel, workers only on an empty one,
+// and the dispatcher closes every channel after the final flush, so
+// there is no wait cycle. Workers consume exactly one assignment per
+// arrival — the number the dispatcher publishes.
+
+// shadowHandler is the dispatcher shard's stand-in for a replica it
+// does not serve on: the replica's batch-latency table frozen at start
+// of run, pre-scaled by the replica's speed factor. Every control-plane
+// read — dispatch signals, batch picks, catch-up holds — calls
+// BatchLatency at batch sizes 1..MaxBatch, which the table covers.
+// Serve returns a zero outcome: the dispatcher records results only
+// into Discard recorders, and outcomes never feed back into scheduling
+// (busyUntil advances by BatchLatency, not ServeMS).
+type shadowHandler struct {
+	lat []float64 // lat[b-1] = BatchLatency(b) for b in 1..MaxBatch
+}
+
+func (h *shadowHandler) BatchLatency(b int) float64 { return h.lat[b-1] }
+
+func (h *shadowHandler) Serve(exitsim.Sample, int) ramp.Outcome { return ramp.Outcome{} }
+
+const (
+	// asnBlockCap bounds one published assignment block; a block that
+	// fills mid-epoch (burst) flushes immediately, so dispatcher-side
+	// buffering is O(1) regardless of trace length.
+	asnBlockCap = 4096
+	// asnFlushMin is the minimum block size worth publishing at an
+	// epoch barrier. Epochs are one lookahead long (a few virtual
+	// milliseconds), so low-rate runs would otherwise ship one-entry
+	// blocks — channel-send overhead per arrival instead of per ~512.
+	// Correctness never needs an eager flush: workers have no real-time
+	// deadline, they just block until the block arrives.
+	asnFlushMin = 512
+	// asnChanDepth is the per-worker block-channel buffer: enough for
+	// the dispatcher to run ahead without unbounded queueing.
+	asnChanDepth = 8
+)
+
+// asnReader replays a worker's view of the dispatcher's assignment
+// stream: blocks in, one target per arrival out.
+type asnReader struct {
+	ch  <-chan []int32
+	buf []int32
+	pos int
+}
+
+func (r *asnReader) next() int {
+	for r.pos == len(r.buf) {
+		blk, ok := <-r.ch
+		if !ok {
+			// The dispatcher publishes exactly one target per arrival
+			// and every worker consumes exactly one per arrival, so an
+			// exhausted channel here is a protocol bug, not a race.
+			panic("serving: assignment stream ended before the arrival stream")
+		}
+		r.buf, r.pos = blk, 0
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return int(v)
+}
+
+// runLookaheadCluster executes a queue-state-dispatch cluster over
+// min(Shards, Replicas) worker shards plus the dispatcher, byte-
+// identical to runSerialCluster. Callers guarantee every handler is
+// latency-stable (RunCluster checked) and that the configuration
+// passed shardPlan's shardLookahead classification.
+func runLookaheadCluster(stream *workload.Stream, handlers []Handler, opts ClusterOptions) *ClusterStats {
+	nrep := opts.Replicas
+	workers := opts.Shards
+	if workers > nrep {
+		// More shards than replicas clamps: an empty worker would sit
+		// at the barrier owning nothing.
+		workers = nrep
+	}
+	base := opts.Options.withDefaults()
+
+	// Freeze each replica's latency table, speed-scaled exactly as the
+	// worker's real replica will be, and derive the lookahead bound:
+	// the smallest batch-1 service time across replicas — no batch
+	// assigned inside an epoch can complete before the epoch's horizon.
+	shadows := make([]Handler, nrep)
+	lookahead := math.Inf(1)
+	for i, h := range handlers {
+		if len(opts.Speeds) > 0 {
+			h = &scaledHandler{Handler: h, speed: opts.Speeds[i%len(opts.Speeds)]}
+		}
+		tab := make([]float64, base.MaxBatch)
+		for b := 1; b <= base.MaxBatch; b++ {
+			tab[b-1] = h.BatchLatency(b)
+		}
+		shadows[i] = &shadowHandler{lat: tab}
+		if tab[0] < lookahead {
+			lookahead = tab[0]
+		}
+	}
+	if !(lookahead > 0) || math.IsInf(lookahead, 1) {
+		lookahead = 1 // degenerate profile: pace in 1ms epochs
+	}
+
+	chans := make([]chan []int32, workers)
+	for g := range chans {
+		chans[g] = make(chan []int32, asnChanDepth)
+	}
+
+	var wg sync.WaitGroup
+	sims := make([]*clusterSim, workers)
+	for g := 0; g < workers; g++ {
+		c := &clusterSim{
+			loop: engine.New(),
+			opts: opts,
+			base: base,
+			mk:   func(i int) Handler { return handlers[i] },
+			it:   stream.Iter(),
+		}
+		if r, ok := c.it.Next(); ok {
+			c.next, c.has = r, true
+		}
+		src := &asnReader{ch: chans[g]}
+		c.asnNext = src.next
+		for i := 0; i < nrep; i++ {
+			if i%workers == g {
+				c.addReplica(i)
+			} else {
+				c.replicas = append(c.replicas, nil)
+			}
+		}
+		c.active = nrep
+		sims[g] = c
+		wg.Add(1)
+		go func(c *clusterSim) {
+			defer wg.Done()
+			c.loop.Add(c)
+			c.loop.Run()
+		}(c)
+	}
+
+	// The dispatcher runs on the caller's goroutine. Its options clear
+	// Speeds — the shadow tables are already speed-scaled, and scaling
+	// twice would skew every decision.
+	dopts := opts
+	dopts.Speeds = nil
+	d := &clusterSim{
+		loop: engine.New(),
+		opts: dopts,
+		base: base,
+		mk:   func(i int) Handler { return shadows[i] },
+		it:   stream.Iter(),
+	}
+	if r, ok := d.it.Next(); ok {
+		d.next, d.has = r, true
+	}
+	for i := 0; i < nrep; i++ {
+		d.addReplica(i)
+	}
+	d.active = nrep
+	for _, rep := range d.replicas {
+		rep.st.Lat = metrics.Discard{}
+	}
+	block := make([]int32, 0, asnBlockCap)
+	flush := func() {
+		if len(block) == 0 {
+			return
+		}
+		blk := block
+		for _, ch := range chans {
+			ch <- blk
+		}
+		block = make([]int32, 0, asnBlockCap)
+	}
+	d.asnPublish = func(target int) {
+		block = append(block, int32(target))
+		if len(block) == asnBlockCap {
+			flush()
+		}
+	}
+	d.loop.Add(d)
+	for {
+		next, ok := d.loop.NextAt()
+		if !ok {
+			break
+		}
+		// Anchoring the horizon at the next event (not the current
+		// clock) guarantees every epoch fires at least one event even
+		// across idle gaps longer than the lookahead.
+		if !d.loop.RunUntil(next + lookahead) {
+			break
+		}
+		if len(block) >= asnFlushMin {
+			flush()
+		}
+	}
+	flush()
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+
+	// Merge in global replica order — the serial merge's float-addition
+	// order — taking each replica from its owning worker.
+	cs := &ClusterStats{
+		PerReplica: make([]*Stats, nrep),
+		ShardMode:  "lookahead:" + strconv.Itoa(workers),
+	}
+	merged := &Stats{Lat: metrics.NewRecorder(base.Metrics, 4096)}
+	var batches metrics.Counter
+	for i := 0; i < nrep; i++ {
+		rep := sims[i%workers].replicas[i]
+		rep.st.finalize()
+		cs.PerReplica[i] = rep.st
+		mergeStats(merged, rep.st)
+		batches.Add(rep.st.AvgBatch)
+	}
+	merged.finalize()
+	merged.AvgBatch = batches.Mean()
+	cs.Merged = merged
+	return cs
+}

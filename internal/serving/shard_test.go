@@ -7,6 +7,7 @@ import (
 	"repro/internal/autoscale"
 	"repro/internal/controller"
 	"repro/internal/exitsim"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/workload"
@@ -51,6 +52,23 @@ func TestShardedClusterByteIdentity(t *testing.T) {
 		{4, 4},  // one replica per shard
 		{3, 16}, // shards clamp to replica count
 	}
+	assertIdentical := func(t *testing.T, serial, sharded *ClusterStats) {
+		t.Helper()
+		if want, got := statsFingerprint(serial.Merged), statsFingerprint(sharded.Merged); want != got {
+			t.Fatalf("merged stats diverge:\n serial:  %s\n sharded: %s", want, got)
+		}
+		if len(serial.PerReplica) != len(sharded.PerReplica) {
+			t.Fatalf("replica counts diverge: %d vs %d",
+				len(serial.PerReplica), len(sharded.PerReplica))
+		}
+		for i := range serial.PerReplica {
+			want := statsFingerprint(serial.PerReplica[i])
+			got := statsFingerprint(sharded.PerReplica[i])
+			if want != got {
+				t.Fatalf("replica %d stats diverge:\n serial:  %s\n sharded: %s", i, want, got)
+			}
+		}
+	}
 	for _, wl := range workloads {
 		for _, platform := range []Platform{Clockwork, TFServe} {
 			for _, mode := range []metrics.Mode{metrics.ModeExact, metrics.ModeSketch} {
@@ -67,21 +85,81 @@ func TestShardedClusterByteIdentity(t *testing.T) {
 							serial := RunCluster(wl.stream, hc.mk(wl.m, wl.kind), opts)
 							opts.Shards = sp.shards
 							sharded := RunCluster(wl.stream, hc.mk(wl.m, wl.kind), opts)
+							if serial.ShardMode != "serial" {
+								t.Fatalf("serial run reported ShardMode %q", serial.ShardMode)
+							}
+							if sharded.ShardMode != fmt.Sprintf("replay:%d", min(sp.shards, sp.replicas)) {
+								t.Fatalf("sharded run reported ShardMode %q", sharded.ShardMode)
+							}
+							assertIdentical(t, serial, sharded)
+						})
+					}
+				}
+			}
+		}
+	}
 
-							if want, got := statsFingerprint(serial.Merged), statsFingerprint(sharded.Merged); want != got {
-								t.Fatalf("merged stats diverge:\n serial:  %s\n sharded: %s", want, got)
+	// Queue-state dispatch grid: least-loaded and join-shortest-queue
+	// run under the conservative-lookahead dispatcher protocol, crossed
+	// with heterogeneous speeds and uneven replica/shard splits — the
+	// {3,16} split pins that shards > replicas clamps to the replica
+	// count instead of parking an empty worker at the barrier.
+	// Latency-stable handlers (vanilla; Apparate with ramp adjustment
+	// frozen) must shard; the adaptive Apparate handler must fall back
+	// to "serial:adaptive-handler" with unchanged results either way.
+	type qsHandlerCase struct {
+		name string
+		mk   func(m *model.Model, kind exitsim.Kind) func(int) Handler
+		// mode is the expected ShardMode given w = min(shards, replicas).
+		mode func(w int) string
+	}
+	qsHandlers := []qsHandlerCase{
+		{"vanilla", func(m *model.Model, _ exitsim.Kind) func(int) Handler {
+			return func(int) Handler { return &VanillaHandler{Model: m} }
+		}, func(w int) string { return fmt.Sprintf("lookahead:%d", w) }},
+		{"apparate-frozen", func(m *model.Model, kind exitsim.Kind) func(int) Handler {
+			prof := exitsim.ProfileFor(m, kind)
+			return func(int) Handler {
+				return NewApparate(m, prof, 0.02, controller.Config{DisableRampAdjust: true})
+			}
+		}, func(w int) string { return fmt.Sprintf("lookahead:%d", w) }},
+		{"apparate", func(m *model.Model, kind exitsim.Kind) func(int) Handler {
+			prof := exitsim.ProfileFor(m, kind)
+			return func(int) Handler {
+				return NewApparate(m, prof, 0.02, controller.Config{})
+			}
+		}, func(int) string { return "serial:adaptive-handler" }},
+	}
+	wl := workloads[0] // video: the bursty frame groups stress dispatch ties
+	qsSplits := []split{{4, 2}, {5, 2}, {3, 16}}
+	for _, platform := range []Platform{Clockwork, TFServe} {
+		for _, dispatch := range []Dispatch{LeastLoaded, JoinShortestQueue} {
+			for _, hetero := range []string{"", "1,0.5"} {
+				for _, hc := range qsHandlers {
+					for _, sp := range qsSplits {
+						name := fmt.Sprintf("%s/%s/hetero=%s/%s/r%d-s%d",
+							platform, dispatch, hetero, hc.name, sp.replicas, sp.shards)
+						t.Run(name, func(t *testing.T) {
+							speeds, err := ParseSpeeds(hetero)
+							if err != nil {
+								t.Fatal(err)
 							}
-							if len(serial.PerReplica) != len(sharded.PerReplica) {
-								t.Fatalf("replica counts diverge: %d vs %d",
-									len(serial.PerReplica), len(sharded.PerReplica))
+							opts := ClusterOptions{
+								Options:  Options{Platform: platform, SLOms: wl.m.SLO()},
+								Replicas: sp.replicas,
+								Dispatch: dispatch,
+								Speeds:   speeds,
 							}
-							for i := range serial.PerReplica {
-								want := statsFingerprint(serial.PerReplica[i])
-								got := statsFingerprint(sharded.PerReplica[i])
-								if want != got {
-									t.Fatalf("replica %d stats diverge:\n serial:  %s\n sharded: %s", i, want, got)
-								}
+							serial := RunCluster(wl.stream, hc.mk(wl.m, wl.kind), opts)
+							opts.Shards = sp.shards
+							sharded := RunCluster(wl.stream, hc.mk(wl.m, wl.kind), opts)
+							if serial.ShardMode != "serial" {
+								t.Fatalf("serial run reported ShardMode %q", serial.ShardMode)
 							}
+							if want := hc.mode(min(sp.shards, sp.replicas)); sharded.ShardMode != want {
+								t.Fatalf("sharded run reported ShardMode %q, want %q", sharded.ShardMode, want)
+							}
+							assertIdentical(t, serial, sharded)
 						})
 					}
 				}
@@ -92,8 +170,11 @@ func TestShardedClusterByteIdentity(t *testing.T) {
 
 // TestShardsFallbackEquality pins the other half of the contract: every
 // configuration the sharded runtime does not support falls back to the
-// serial path silently, so setting Shards on such a run changes nothing
-// — not even by accident.
+// serial path, changes nothing — not even by accident — and reports why
+// it fell back through ClusterStats.ShardMode (so a no-op fallback is
+// never mistaken for a sharded run). Least-loaded and JSQ left this
+// list when the conservative-lookahead mode landed; they are covered by
+// TestShardedClusterByteIdentity's queue-state grid now.
 func TestShardsFallbackEquality(t *testing.T) {
 	m := model.ResNet50()
 	s := workload.Video(1, 2000, 60, 83)
@@ -104,21 +185,36 @@ func TestShardsFallbackEquality(t *testing.T) {
 	}
 	cases := []struct {
 		name string
+		mode string
 		mod  func(*ClusterOptions)
 	}{
-		{"least-loaded", func(o *ClusterOptions) { o.Dispatch = LeastLoaded }},
-		{"jsq", func(o *ClusterOptions) { o.Dispatch = JoinShortestQueue }},
-		{"autoscale", func(o *ClusterOptions) { o.Autoscale = &autoscale.Config{Min: 1, Max: 4} }},
-		{"faults", func(o *ClusterOptions) { o.Faults = mustFaults(t, "mtbf:3000/400;loss=0.02") }},
-		{"single-replica", func(o *ClusterOptions) { o.Replicas = 1 }},
+		{"autoscale", "serial:autoscale", func(o *ClusterOptions) { o.Autoscale = &autoscale.Config{Min: 1, Max: 4} }},
+		{"faults", "serial:faults", func(o *ClusterOptions) { o.Faults = mustFaults(t, "mtbf:3000/400;loss=0.02") }},
+		{"retry", "serial:retry", func(o *ClusterOptions) { o.Retry = faults.Retry{Attempts: 2} }},
+		{"obs", "serial:obs", func(o *ClusterOptions) { o.ReplicaObserver = func(int, Result) {} }},
+		{"single-replica", "serial:single-replica", func(o *ClusterOptions) { o.Replicas = 1 }},
+		{"adaptive-handler-least-loaded", "serial:adaptive-handler", func(o *ClusterOptions) { o.Dispatch = LeastLoaded }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			opts := base
 			tc.mod(&opts)
-			plain := RunCluster(s, func(int) Handler { return &VanillaHandler{Model: m} }, opts)
+			mkAdaptive := func(int) Handler {
+				return NewApparate(m, exitsim.ProfileFor(m, exitsim.KindVideo), 0.02, controller.Config{})
+			}
+			mk := func(int) Handler { return &VanillaHandler{Model: m} }
+			if tc.mode == "serial:adaptive-handler" {
+				mk = mkAdaptive
+			}
+			plain := RunCluster(s, mk, opts)
 			opts.Shards = 4
-			withShards := RunCluster(s, func(int) Handler { return &VanillaHandler{Model: m} }, opts)
+			withShards := RunCluster(s, mk, opts)
+			if plain.ShardMode != "serial" {
+				t.Fatalf("unsharded run reported ShardMode %q", plain.ShardMode)
+			}
+			if withShards.ShardMode != tc.mode {
+				t.Fatalf("fallback run reported ShardMode %q, want %q", withShards.ShardMode, tc.mode)
+			}
 			if want, got := statsFingerprint(plain.Merged), statsFingerprint(withShards.Merged); want != got {
 				t.Fatalf("fallback run changed under Shards=4:\n plain:  %s\n shards: %s", want, got)
 			}

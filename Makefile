@@ -119,10 +119,13 @@ bench-faults:
 	@echo "bench-faults: wrote BENCH_faults.json"
 
 # Observability overhead benchmark (obs=off vs lifecycle trace vs
-# trace+timeline on a 100k-request, 4-replica cluster) emitted as
-# BENCH_obs.json. The obs=off row is the zero-cost-when-off gate: it
-# must track BENCH_cluster.json's round-robin/replicas=4 row within
-# noise, with identical allocs/op.
+# trace+timeline, on both the 100k-request 4-replica cluster and the
+# saturated generative-KV engine) emitted as BENCH_obs.json. The
+# obs=off row is the zero-cost-when-off gate: it must track
+# BENCH_cluster.json's round-robin/replicas=4 row within noise, with
+# identical allocs/op; the gen-obs=off row likewise must match
+# BENCH_gen.json's kv=48/prefix=0.5/chunk=256 row with zero extra
+# allocs.
 # Pre-pooling epoch: a fresh sketch per timeline window and a fresh
 # QueueDepths slice per tick row put trace+timeline 25k allocs over the
 # untraced run.
@@ -140,12 +143,12 @@ endef
 export BENCH_OBS_BEFORE_ZERO_ALLOC
 
 bench-obs:
-	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime 5x . | tee /tmp/bench_obs.txt
-	@printf '{\n  "description": "BenchmarkObsOverhead: serving.RunCluster over 100k requests on 4 replicas, untraced vs lifecycle trace vs trace+timeline. obs=off must match BENCH_cluster.json dispatch=round-robin/replicas=4 within noise and add zero allocs/op (every emission site is one nil check); the traced rows bound the cost of a fully observed study. Regenerate with make bench-obs; before_zero_alloc preserves the pre-pooling per-window-allocation numbers.",\n' > BENCH_obs.json
+	$(GO) test -run '^$$' -bench 'ObsOverhead' -benchtime 5x . | tee /tmp/bench_obs.txt
+	@printf '{\n  "description": "BenchmarkObsOverhead + BenchmarkGenObsOverhead: untraced vs lifecycle trace vs trace+timeline on serving.RunCluster (100k requests, 4 replicas) and on the saturated generative-KV engine (200 cnn-dailymail sequences, kv=48/prefix=0.5/chunk=256). obs=off must match BENCH_cluster.json dispatch=round-robin/replicas=4 and gen-obs=off must match BENCH_gen.json kv=48/prefix=0.5/chunk=256, each within noise and with zero extra allocs/op (every emission site is one nil check); the traced rows bound the cost of a fully observed study. Regenerate with make bench-obs; before_zero_alloc preserves the pre-pooling per-window-allocation numbers.",\n' > BENCH_obs.json
 	@$(call bench_meta,BENCH_obs.json)
 	@echo "$$BENCH_OBS_BEFORE_ZERO_ALLOC" >> BENCH_obs.json
 	@awk 'BEGIN { printf("  \"results\": [\n") } \
-	  /^BenchmarkObsOverhead\// { sub(/^BenchmarkObsOverhead\//, "", $$1); sub(/-[0-9]+$$/, "", $$1); printf("%s    {\"case\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, $$1, $$2, $$3, $$5, $$7); sep=",\n" } \
+	  /^Benchmark(Gen)?ObsOverhead\// { sub(/^Benchmark(Gen)?ObsOverhead\//, "", $$1); sub(/-[0-9]+$$/, "", $$1); printf("%s    {\"case\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, $$1, $$2, $$3, $$5, $$7); sep=",\n" } \
 	  END { printf("\n  ]\n}\n") }' /tmp/bench_obs.txt >> BENCH_obs.json
 	@echo "bench-obs: wrote BENCH_obs.json"
 
@@ -291,6 +294,14 @@ GENKV_FLAGS = -models t5-large -workloads cnn-dailymail,squad \
 	-kv-blocks 0,64 -prefix-hit 0,0.4 -prefill-chunk 128 \
 	-acc-losses 0.01,0.05 -gen-n 10 -seed 8 -quiet
 
+# Traced generative-KV grid: the same axes with both observability
+# sinks on — every sequence-lifecycle trace and KV-pool timeline must
+# be byte-identical at any worker count, and tracing must not move the
+# result JSON off the untraced run's.
+GENKV_OBS_FLAGS = -models t5-large -workloads cnn-dailymail,squad \
+	-kv-blocks 0,64 -prefix-hit 0,0.4 -prefill-chunk 128 \
+	-gen-n 10 -seed 8 -quiet
+
 # Sharded-execution grid (round-robin multi-replica points, exact and
 # sketch recorders): -shards 4 splits each scenario over four parallel
 # engine loops and must emit byte-identical JSON to the serial run —
@@ -333,13 +344,18 @@ sweep-smoke:
 	$(GO) run ./cmd/apparate-sweep $(GENKV_FLAGS) -workers 8 -out /tmp/sweep-kv-w8.json >/dev/null
 	$(GO) run ./cmd/apparate-sweep $(GENKV_FLAGS) -workers 1 -out /tmp/sweep-kv-w1.json >/dev/null
 	cmp /tmp/sweep-kv-w1.json /tmp/sweep-kv-w8.json
+	rm -rf /tmp/sweep-kvobs-w8 /tmp/sweep-kvobs-w1
+	$(GO) run ./cmd/apparate-sweep $(GENKV_OBS_FLAGS) -obs-dir /tmp/sweep-kvobs-w8 -workers 8 -out /tmp/sweep-kvobs-w8.json >/dev/null
+	$(GO) run ./cmd/apparate-sweep $(GENKV_OBS_FLAGS) -obs-dir /tmp/sweep-kvobs-w1 -workers 1 -out /tmp/sweep-kvobs-w1.json >/dev/null
+	cmp /tmp/sweep-kvobs-w1.json /tmp/sweep-kvobs-w8.json
+	diff -r /tmp/sweep-kvobs-w1 /tmp/sweep-kvobs-w8
 	$(GO) run ./cmd/apparate-sweep $(SHARDS_FLAGS) -workers 8 -out /tmp/sweep-sh1.json >/dev/null
 	$(GO) run ./cmd/apparate-sweep $(SHARDS_FLAGS) -shards 4 -workers 8 -out /tmp/sweep-sh4.json >/dev/null
 	cmp /tmp/sweep-sh1.json /tmp/sweep-sh4.json
 	$(GO) run ./cmd/apparate-sweep $(SHARDS_QS_FLAGS) -workers 8 -out /tmp/sweep-shqs0.json >/dev/null
 	$(GO) run ./cmd/apparate-sweep $(SHARDS_QS_FLAGS) -shards 4 -workers 8 -out /tmp/sweep-shqs4.json >/dev/null
 	cmp /tmp/sweep-shqs0.json /tmp/sweep-shqs4.json
-	@echo "sweep-smoke: deterministic across worker counts (exact + sketch, incl. autoscale, faulty, traced, and generative-KV grids) and shard counts (replay + lookahead modes)"
+	@echo "sweep-smoke: deterministic across worker counts (exact + sketch, incl. autoscale, faulty, traced, generative-KV, and traced generative-KV grids) and shard counts (replay + lookahead modes)"
 
 # Memory guard: one 10,000,000-request scheduled-rate scenario in
 # sketch mode must complete under a 256 MiB soft heap limit with a

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/exitsim"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/serving"
@@ -52,6 +54,50 @@ func BenchmarkObsOverhead(b *testing.B) {
 				}, opts)
 				if cs.Merged.Total != n {
 					b.Fatalf("cluster served %d requests, want %d", cs.Merged.Total, n)
+				}
+				if tr != nil && tr.Len() == 0 {
+					b.Fatal("traced run emitted no events")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGenObsOverhead measures the observability layer's cost on
+// the generative KV hot path: BenchmarkGenKV's saturated
+// kv=48/prefix=0.5/chunk=256 configuration, untraced (gen-obs=off —
+// must track BENCH_gen.json's matching row within noise, with no new
+// allocs/op, since every emission site is one nil check), with the
+// sequence-lifecycle trace attached (gen-obs=trace), and with trace
+// plus KV-pool timeline sampling (gen-obs=trace+timeline).
+func BenchmarkGenObsOverhead(b *testing.B) {
+	const (
+		n    = 200
+		qps  = 6
+		seed = 11
+	)
+	cfg := core.Config{KVBlocks: 48, PrefixHitRatio: 0.5, PrefillChunkTokens: 256, Seed: seed}
+	cases := []struct {
+		name string
+		mk   func() (*obs.Tracer, *obs.Timeline)
+	}{
+		{"gen-obs=off", func() (*obs.Tracer, *obs.Timeline) { return nil, nil }},
+		{"gen-obs=trace", func() (*obs.Tracer, *obs.Timeline) { return obs.NewTracer(), nil }},
+		{"gen-obs=trace+timeline", func() (*obs.Tracer, *obs.Timeline) {
+			return obs.NewTracer(), obs.NewTimeline(0, 0)
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			g := core.NewGen(model.T5Large(), exitsim.KindCNNDailyMail, cfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr, tl := tc.mk()
+				g.Engine.Trace, g.Engine.Timeline = tr, tl
+				last := g.Serve(workload.CNNDailyMail(n, qps, seed))
+				if last.Seqs != n {
+					b.Fatalf("served %d sequences, want %d", last.Seqs, n)
 				}
 				if tr != nil && tr.Len() == 0 {
 					b.Fatal("traced run emitted no events")

@@ -103,11 +103,6 @@ func main() {
 		os.Exit(1)
 	}
 	printResult(res)
-	if od.Trace == nil && od.Timeline == nil {
-		// Normalize cleared the knobs: the generative path has no hooks.
-		fmt.Fprintln(os.Stderr, "observability is classification-only; no trace/timeline written")
-		return
-	}
 	if *tracePath != "" {
 		writeSink(*tracePath, od.Trace.WriteJSONL)
 		fmt.Fprintf(os.Stderr, "trace: wrote %s (%d events, JSONL)\n", *tracePath, od.Trace.Len())

@@ -113,9 +113,10 @@ type Scenario struct {
 	// Timeline additionally samples cluster gauges every ObsTickMS
 	// virtual milliseconds (0 = obs.DefaultTickMS) into an obs.Timeline.
 	// Observability knobs never enter Identity — attaching a tracer
-	// must not shift a scenario's derived seed or any simulated outcome
-	// — and generative scenarios clear them (the generative engine is
-	// not instrumented). Classification workloads only.
+	// must not shift a scenario's derived seed or any simulated
+	// outcome. Generative scenarios trace sequence lifecycles
+	// (seq_arrive … seq_complete) and sample KV-pool gauges instead of
+	// cluster gauges.
 	Trace     bool    `json:"trace,omitempty"`
 	Timeline  bool    `json:"timeline,omitempty"`
 	ObsTickMS float64 `json:"obs_tick_ms,omitempty"`
@@ -163,8 +164,6 @@ func (sc Scenario) Normalize() Scenario {
 		sc.Hetero = ""
 		sc.Faults = ""
 		sc.Retry = ""
-		sc.Trace = false
-		sc.Timeline = false
 	} else {
 		sc.GenSlots, sc.GenFlush = 0, 0
 		sc.KVBlocks, sc.BlockTokens, sc.PrefixHit, sc.PrefillChunk = 0, 0, 0, 0
@@ -505,7 +504,7 @@ func RunScenario(sc Scenario) (*Result, error) {
 	}
 	sc = sc.Normalize()
 	if sc.Generative() {
-		return runGenScenario(sc)
+		return runGenScenario(sc, nil)
 	}
 	return runClassScenario(sc, nil)
 }
@@ -531,9 +530,7 @@ func RunScenarioObs(sc Scenario) (*Result, *ObsData, error) {
 	sc = sc.Normalize()
 	od := &ObsData{}
 	if sc.Generative() {
-		// Generative scenarios have no obs hooks; Normalize cleared the
-		// knobs, so the sinks stay nil.
-		res, err := runGenScenario(sc)
+		res, err := runGenScenario(sc, od)
 		return res, od, err
 	}
 	res, err := runClassScenario(sc, od)
@@ -707,7 +704,7 @@ func fillClass(res *Result, v, a *serving.Stats) {
 	fillWins(res)
 }
 
-func runGenScenario(sc Scenario) (*Result, error) {
+func runGenScenario(sc Scenario, od *ObsData) (*Result, error) {
 	m, err := model.ByName(sc.Model)
 	if err != nil {
 		return nil, err
@@ -732,6 +729,17 @@ func runGenScenario(sc Scenario) (*Result, error) {
 	}
 	g := NewGen(m, kind, cfg)
 	v := g.ServeVanilla(stream)
+	if od != nil {
+		// Attach the sinks after the vanilla baseline so only the
+		// Apparate run is observed, exactly like the cluster path.
+		if sc.Trace {
+			od.Trace = obs.NewTracer()
+		}
+		if sc.Timeline {
+			od.Timeline = obs.NewTimeline(sc.ObsTickMS, 0)
+		}
+		g.Engine.Trace, g.Engine.Timeline = od.Trace, od.Timeline
+	}
 	a := g.Serve(stream)
 
 	res := &Result{Scenario: sc, Generative: true, Requests: stream.Len()}

@@ -128,6 +128,42 @@ func TestRunScenarioGenerative(t *testing.T) {
 	}
 }
 
+// TestRunScenarioObsGenerative: a traced generative scenario keeps its
+// observability knobs through Normalize, returns populated sinks (the
+// timeline in its generative column mode), and its Result is identical
+// to an untraced run's — the sinks are passive.
+func TestRunScenarioObsGenerative(t *testing.T) {
+	sc := Scenario{
+		Model: "t5-large", Workload: "cnn-dailymail", N: 20, Seed: 3,
+		KVBlocks: 48, PrefixHit: 0.4, PrefillChunk: 128,
+		Trace: true, Timeline: true, ObsTickMS: 200,
+	}
+	if n := sc.Normalize(); !n.Trace || !n.Timeline {
+		t.Fatal("Normalize cleared the generative observability knobs")
+	}
+	res, od, err := RunScenarioObs(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if od.Trace == nil || od.Timeline == nil {
+		t.Fatalf("generative traced run returned nil sinks: %+v", od)
+	}
+	if od.Trace.Len() == 0 || len(od.Timeline.Rows) == 0 {
+		t.Fatalf("generative sinks are empty: %d events, %d rows",
+			od.Trace.Len(), len(od.Timeline.Rows))
+	}
+	if !od.Timeline.Gen {
+		t.Fatal("generative timeline not in generative column mode")
+	}
+	plain, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *res != *plain {
+		t.Fatalf("tracing changed the generative result:\ntraced: %+v\nplain:  %+v", res, plain)
+	}
+}
+
 func TestRunScenarioGenEngineKnobs(t *testing.T) {
 	base := Scenario{Model: "t5-large", Workload: "cnn-dailymail", N: 20, Seed: 3}
 	tuned := base

@@ -21,6 +21,7 @@ import (
 	"repro/internal/exitsim"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -138,6 +139,15 @@ type Engine struct {
 	// OnSeq, when non-nil, receives every completed sequence in
 	// completion order; the engine itself retains none of them.
 	OnSeq func(SeqResult)
+
+	// Trace, when non-nil, receives sequence-lifecycle events
+	// (seq_arrive / kv_admit / prefill_chunk / decode_flush / preempt /
+	// seq_requeue / seq_complete). Timeline, when non-nil, samples
+	// KV-pool and queue gauges on the engine clock's advance hook. Both
+	// are passive sinks: nil-guarded emission sites, so leaving them nil
+	// is byte- and alloc-identical to an engine without them.
+	Trace    *obs.Tracer
+	Timeline *obs.Timeline
 
 	// KVBlocks bounds the engine's KV-block pool: a sequence must hold
 	// ⌈(prompt+generated)/BlockTokens⌉ blocks to run, admission blocks
@@ -272,6 +282,23 @@ type genSim struct {
 	sumScore     float64
 	firstArrival float64
 	lastDone     float64
+
+	// Observability sinks and the per-slot occupancy table behind them.
+	// The table exists only when a sink is attached (slots == nil
+	// otherwise), so untraced runs allocate nothing and completion
+	// events carry arg 0 exactly as before — arg never affects event
+	// ordering, so traced runs stay outcome-identical too.
+	tr     *obs.Tracer
+	tl     *obs.Timeline
+	slots  []genSlot
+	snapFn func(float64) obs.Gauges
+}
+
+// genSlot is one decode slot's occupant, tracked only under observation.
+type genSlot struct {
+	req  workload.GenRequest
+	at   float64 // admission instant
+	busy bool
 }
 
 // Engine-event op codes dispatched to genSim.OnEvent.
@@ -282,11 +309,58 @@ const (
 
 // OnEvent dispatches engine events; genSim is its own pre-bound
 // handler, so arming an arrival or a slot completion never allocates.
-func (g *genSim) OnEvent(now float64, op uint8, _ uint64) {
+// Under observation the completion arg carries the slot index.
+func (g *genSim) OnEvent(now float64, op uint8, arg uint64) {
 	if op == opSlotFree {
 		g.free++
+		if g.slots != nil {
+			g.slotDone(now, int(arg))
+		}
 	}
 	g.pump(now)
+}
+
+// claimSlot records the sequence in the lowest free slot and emits its
+// arrival/admission events. The classic path has no standing admission
+// queue — the single pending request admits as soon as a slot frees — so
+// seq_arrive and kv_admit emit together at the admission instant, the
+// admission's wait carried in kv_admit's DurMS.
+func (g *genSim) claimSlot(req workload.GenRequest, now float64) int {
+	slot := 0
+	for g.slots[slot].busy {
+		slot++
+	}
+	g.slots[slot] = genSlot{req: req, at: now, busy: true}
+	if g.tr != nil {
+		e := obs.At(now, obs.KindSeqArrive)
+		e.Req = req.ID
+		e.Val = req.PromptLen
+		g.tr.Emit(e)
+		e = obs.At(now, obs.KindKVAdmit)
+		e.Req = req.ID
+		e.Replica = slot
+		e.DurMS = now - req.ArrivalMS
+		g.tr.Emit(e)
+	}
+	return slot
+}
+
+// slotDone retires the observed slot's occupant: a seq_complete event on
+// the slot's track and a timeline window observation.
+func (g *genSim) slotDone(now float64, slot int) {
+	s := &g.slots[slot]
+	s.busy = false
+	if g.tr != nil {
+		e := obs.At(now, obs.KindSeqComplete)
+		e.Req = s.req.ID
+		e.Replica = slot
+		e.DurMS = now - s.at
+		e.LatMS = now - s.req.ArrivalMS
+		g.tr.Emit(e)
+	}
+	if g.tl != nil {
+		g.tl.Observe(now-s.req.ArrivalMS, false)
+	}
 }
 
 // Start schedules the first arrival; genSim is an engine.Process.
@@ -328,9 +402,13 @@ func (g *genSim) admit(req workload.GenRequest, now float64) {
 		g.firstArrival = req.ArrivalMS
 	}
 	g.free--
+	var arg uint64
+	if g.slots != nil {
+		arg = uint64(g.claimSlot(req, now))
+	}
 	tokens, decodeMS := g.e.decodeSequence(req, g.pol)
 	done := now + g.e.prefillMS(req.PromptLen) + decodeMS
-	g.loop.Schedule(done, classSlotFree, g, opSlotFree, 0)
+	g.loop.Schedule(done, classSlotFree, g, opSlotFree, arg)
 	match := 0
 	for _, tk := range tokens {
 		if tk.Match {
@@ -381,8 +459,29 @@ func (e *Engine) Run(stream *workload.GenStream, pol Policy) *Stats {
 	if r, ok := g.it.Next(); ok {
 		g.next, g.has = r, true
 	}
+	if e.Trace != nil || e.Timeline != nil {
+		g.tr, g.tl = e.Trace, e.Timeline
+		g.slots = make([]genSlot, e.MaxConcurrent)
+	}
+	if g.tl != nil {
+		// Sample from the advance hook, never from tick events on the
+		// heap — the clock must not move for the sampler's sake (same
+		// rule as the cluster path).
+		g.tl.Gen = true
+		g.snapFn = func(tMS float64) obs.Gauges {
+			queued := 0
+			if g.has && g.next.ArrivalMS <= tMS {
+				queued = 1
+			}
+			return obs.Gauges{Running: e.MaxConcurrent - g.free, Queued: queued}
+		}
+		g.loop.OnAdvance(func(prev, now float64) { g.tl.CatchUp(now, g.snapFn) })
+	}
 	g.loop.Add(g)
 	g.loop.Run()
+	if g.tl != nil && g.stats.Seqs > 0 {
+		g.tl.Finish(g.loop.Now(), g.snapFn)
+	}
 	if g.stats.Seqs > 0 {
 		g.stats.MeanMatchRate = g.sumRate / float64(g.stats.Seqs)
 		g.stats.MeanScore = g.sumScore / float64(g.stats.Seqs)

@@ -3,6 +3,7 @@ package genserve
 import (
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/workload"
 )
@@ -50,9 +51,12 @@ type kvSeq struct {
 	prefillLeft int
 
 	// pendingPrefill / pendingG describe the in-flight milestone: the
-	// prefill tokens it completes, or the gDone it commits.
+	// prefill tokens it completes, or the gDone it commits. pendingDur
+	// is the milestone's duration, kept so the commit-time trace event
+	// can report the span it covered.
 	pendingPrefill int
 	pendingG       int
+	pendingDur     float64
 
 	blocks     int
 	slot       int
@@ -101,6 +105,16 @@ type kvSim struct {
 	firstArrival float64
 	haveFirst    bool
 	lastDone     float64
+
+	// Observability sinks (nil = off; every emission site is
+	// nil-guarded, so untraced runs stay byte- and alloc-identical).
+	// intReported is the slice of utilInt already reported through
+	// timeline rows, so each row's KVBlockMS is a telescoping delta and
+	// the column sums exactly to the run's ∫used·dt.
+	tr          *obs.Tracer
+	tl          *obs.Timeline
+	snapFn      func(float64) obs.Gauges
+	intReported float64
 }
 
 // runKV serves the stream under the KV-block memory runtime.
@@ -125,8 +139,20 @@ func (e *Engine) runKV(stream *workload.GenStream, pol Policy) *Stats {
 	if r, ok := k.it.Next(); ok {
 		k.next, k.has = r, true
 	}
+	k.tr, k.tl = e.Trace, e.Timeline
+	if k.tl != nil {
+		// Sample from the advance hook, never from tick events on the
+		// heap — the clock must not move for the sampler's sake (same
+		// rule as the cluster path).
+		k.tl.Gen = true
+		k.snapFn = k.gauges
+		k.loop.OnAdvance(func(prev, now float64) { k.tl.CatchUp(now, k.snapFn) })
+	}
 	k.loop.Add(k)
 	k.loop.Run()
+	if k.tl != nil && k.haveFirst {
+		k.tl.Finish(k.loop.Now(), k.snapFn)
+	}
 	if k.stats.Seqs > 0 {
 		k.stats.MeanMatchRate = k.sumRate / float64(k.stats.Seqs)
 		k.stats.MeanScore = k.sumScore / float64(k.stats.Seqs)
@@ -180,10 +206,21 @@ func (k *kvSim) arrive(now float64) {
 		k.firstArrival, k.haveFirst = req.ArrivalMS, true
 	}
 	s := &kvSeq{req: req, effPrompt: req.PromptLen, enqueuedAt: now}
+	if k.tr != nil {
+		e := obs.At(now, obs.KindSeqArrive)
+		e.Req = req.ID
+		e.Val = req.PromptLen
+		k.tr.Emit(e)
+	}
 	if k.prefix != nil && k.prefix.Float64() < k.e.PrefixHitRatio {
 		s.hit = true
 		s.effPrompt = 0
 		k.stats.PrefixHits++
+		if k.tr != nil {
+			e := obs.At(now, obs.KindPrefixHit)
+			e.Req = req.ID
+			k.tr.Emit(e)
+		}
 	}
 	k.waiting = append(k.waiting, s)
 }
@@ -251,6 +288,14 @@ func (k *kvSim) admit(s *kvSeq, now float64) {
 	if k.e.KVBlocks > 0 {
 		k.grant(s, k.blocksFor(s.effPrompt+s.gDone), now)
 	}
+	if k.tr != nil {
+		e := obs.At(now, obs.KindKVAdmit)
+		e.Req = s.req.ID
+		e.Replica = s.slot
+		e.Val = s.blocks
+		e.DurMS = now - s.enqueuedAt
+		k.tr.Emit(e)
+	}
 	s.prefillLeft = s.effPrompt + s.gDone
 	k.advance(s, now)
 }
@@ -285,7 +330,8 @@ func (k *kvSim) advance(s *kvSeq, now float64) {
 			chunk = c
 		}
 		s.pendingPrefill = chunk
-		k.schedule(s, now+k.e.prefillMS(chunk))
+		s.pendingDur = k.e.prefillMS(chunk)
+		k.schedule(s, now+s.pendingDur)
 		return
 	}
 	if s.gDone >= s.req.GenLen {
@@ -313,15 +359,34 @@ func (k *kvSim) advance(s *kvSeq, now float64) {
 		dur += s.flushTail
 	}
 	s.pendingG = gNext
+	s.pendingDur = dur
 	k.schedule(s, now+dur)
 }
 
 // milestone commits the in-flight chunk or decode stretch and advances.
+// Trace slices emit here, at commit time, so work lost to preemption
+// never appears in the trace.
 func (k *kvSim) milestone(s *kvSeq, now float64) {
 	if s.pendingPrefill > 0 {
+		if k.tr != nil {
+			e := obs.At(now, obs.KindPrefillChunk)
+			e.Req = s.req.ID
+			e.Replica = s.slot
+			e.Val = s.pendingPrefill
+			e.DurMS = s.pendingDur
+			k.tr.Emit(e)
+		}
 		s.prefillLeft -= s.pendingPrefill
 		s.pendingPrefill = 0
 	} else {
+		if k.tr != nil {
+			e := obs.At(now, obs.KindDecodeFlush)
+			e.Req = s.req.ID
+			e.Replica = s.slot
+			e.Val = s.pendingG - s.gDone
+			e.DurMS = s.pendingDur
+			k.tr.Emit(e)
+		}
 		s.gDone = s.pendingG
 	}
 	k.advance(s, now)
@@ -385,6 +450,14 @@ func (k *kvSim) youngest() *kvSeq {
 // work already granted.
 func (k *kvSim) preempt(v *kvSeq, now float64) {
 	k.stats.Preemptions++
+	if k.tr != nil {
+		e := obs.At(now, obs.KindPreempt)
+		e.Req = v.req.ID
+		e.Replica = v.slot
+		e.Val = v.blocks
+		e.DurMS = now - v.admittedAt
+		k.tr.Emit(e)
+	}
 	k.slotEpoch[v.slot]++
 	k.slots[v.slot] = nil
 	k.freeSlots++
@@ -399,10 +472,27 @@ func (k *kvSim) preempt(v *kvSeq, now float64) {
 	k.waiting = append(k.waiting, nil)
 	copy(k.waiting[1:], k.waiting)
 	k.waiting[0] = v
+	if k.tr != nil {
+		e := obs.At(now, obs.KindSeqRequeue)
+		e.Req = v.req.ID
+		e.Val = len(k.waiting)
+		k.tr.Emit(e)
+	}
 }
 
 // complete retires a finished sequence, freeing its slot and blocks.
 func (k *kvSim) complete(s *kvSeq, now float64) {
+	if k.tr != nil {
+		e := obs.At(now, obs.KindSeqComplete)
+		e.Req = s.req.ID
+		e.Replica = s.slot
+		e.DurMS = now - s.admittedAt
+		e.LatMS = now - s.req.ArrivalMS
+		k.tr.Emit(e)
+	}
+	if k.tl != nil {
+		k.tl.Observe(now-s.req.ArrivalMS, false)
+	}
 	k.slotEpoch[s.slot]++
 	k.slots[s.slot] = nil
 	k.freeSlots++
@@ -428,4 +518,27 @@ func (k *kvSim) complete(s *kvSeq, now float64) {
 func (k *kvSim) foldUtil(now float64) {
 	k.utilInt += float64(k.used) * (now - k.utilLast)
 	k.utilLast = now
+}
+
+// gauges snapshots the KV runtime at tick instant tMS. Ticks fire from
+// the advance hook, so tMS lies in (prev event, next event] and every
+// counter still holds its pre-event value — exactly the state at tMS.
+// The block-ms integral is evaluated exactly at tMS (without folding it
+// into utilInt, which belongs to event processing) and reported as a
+// delta against what earlier rows already carried, so the kv_block_ms
+// column telescopes to the run's full ∫used·dt.
+func (k *kvSim) gauges(tMS float64) obs.Gauges {
+	g := obs.Gauges{Running: k.running, Queued: len(k.waiting), Preempts: k.stats.Preemptions}
+	if k.has && k.next.ArrivalMS <= tMS {
+		g.Queued++ // the armed arrival has arrived by tMS but its event hasn't fired
+	}
+	if k.e.KVBlocks > 0 {
+		g.KVHeld = k.used
+		g.KVFree = k.e.KVBlocks - k.used
+		g.KVUtil = float64(k.used) / float64(k.e.KVBlocks)
+		total := k.utilInt + float64(k.used)*(tMS-k.utilLast)
+		g.KVBlockMS = total - k.intReported
+		k.intReported = total
+	}
+	return g
 }

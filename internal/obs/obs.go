@@ -89,6 +89,46 @@ const (
 	// DurMS over all pairs equals ClusterStats.Faults.UnavailMS.
 	KindOutageStart Kind = "outage_start"
 	KindOutageEnd   Kind = "outage_end"
+
+	// Generative sequence-lifecycle kinds — the generative engine's
+	// analog of the request kinds above. Replica carries the decode-slot
+	// index (one Perfetto track per slot); Req is the sequence's request
+	// ID.
+
+	// KindSeqArrive marks a sequence reaching the admission queue; Val is
+	// the prompt length in tokens.
+	KindSeqArrive Kind = "seq_arrive"
+	// KindKVAdmit marks a sequence claiming a decode slot; Val is the KV
+	// blocks it holds after the admission grant (0 on the unbounded
+	// path), and DurMS is this admission's queue wait — summed over all
+	// kv_admit events it reconciles with Stats.QueueMS × Seqs, re-queues
+	// included.
+	KindKVAdmit Kind = "kv_admit"
+	// KindPrefixHit marks a sequence whose prompt prefix hit the prefix
+	// cache (prefill skipped); emitted at arrival, event count reconciles
+	// with Stats.PrefixHits.
+	KindPrefixHit Kind = "prefix_hit"
+	// KindPrefillChunk marks a committed prefill chunk; Val is the chunk
+	// size in tokens and DurMS the chunk's duration (the chunk ran over
+	// [TMS-DurMS, TMS]). In-flight chunks lost to preemption are never
+	// emitted — the trace shows committed work only.
+	KindPrefillChunk Kind = "prefill_chunk"
+	// KindDecodeFlush marks a committed decode stretch flushing its
+	// tokens at a block boundary (or sequence end); Val is the token
+	// count committed and DurMS the stretch's duration.
+	KindDecodeFlush Kind = "decode_flush"
+	// KindPreempt marks a running sequence evicted by the KV pool: Val is
+	// the blocks it freed and DurMS its slot residency (the evicted
+	// stretch ran over [TMS-DurMS, TMS]). Event count reconciles with
+	// Stats.Preemptions.
+	KindPreempt Kind = "preempt"
+	// KindSeqRequeue marks a preempted sequence re-entering the admission
+	// queue at its head; Val is the queue length after the insert.
+	KindSeqRequeue Kind = "seq_requeue"
+	// KindSeqComplete marks a sequence finishing: DurMS is its final slot
+	// residency and LatMS the end-to-end sequence latency (arrival to
+	// completion).
+	KindSeqComplete Kind = "seq_complete"
 )
 
 // Event is one typed lifecycle record on the virtual clock. Zero-valued
@@ -213,11 +253,25 @@ func chromeTID(e Event) int {
 	return chromeDispatcherTID
 }
 
+// genTrace reports whether the trace came from the generative engine
+// (tracks are decode slots, not replicas): generative traces always
+// open with a seq_arrive, classification traces never emit one.
+func (t *Tracer) genTrace() bool {
+	return len(t.Events) > 0 && t.Events[0].Kind == KindSeqArrive
+}
+
 // WriteChrome writes the trace in the Chrome trace-event JSON format
 // (viewable at ui.perfetto.dev or chrome://tracing): batches render as
 // duration slices on their replica's track, crash/restart and
 // outage_start/outage_end pairs render as "down"/"outage" spans, and
 // every other event renders as an instant with its fields as args.
+//
+// Generative traces render one track per decode slot instead: each
+// committed slot residency is an "X" slice named seq(<req>) emitted at
+// its seq_complete/preempt (so work lost to preemption never paints the
+// track), prefill chunks and decode stretches nest inside it as
+// prefill(<tokens>)/decode(<tokens>) slices, and preemptions add an
+// instant marker at the eviction instant.
 func (t *Tracer) WriteChrome(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	maxReplica := -1
@@ -240,13 +294,23 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 	meta := func(tid int, name string) error {
 		return emit(fmt.Sprintf(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":%q}}`, tid, name))
 	}
-	if err := meta(chromeDispatcherTID, "dispatcher"); err != nil {
+	track, track0 := "replica", "dispatcher"
+	if t.genTrace() {
+		track, track0 = "slot", "queue"
+	}
+	if err := meta(chromeDispatcherTID, track0); err != nil {
 		return err
 	}
 	for i := 0; i <= maxReplica; i++ {
-		if err := meta(i+1, fmt.Sprintf("replica %d", i)); err != nil {
+		if err := meta(i+1, fmt.Sprintf("%s %d", track, i)); err != nil {
 			return err
 		}
+	}
+	// slice renders the [TMS-DurMS, TMS] span an event commits as an
+	// "X" duration slice on its track.
+	slice := func(e Event, name string, extra string) error {
+		return emit(fmt.Sprintf(`{"name":%q,"ph":"X","ts":%s,"dur":%s,"pid":0,"tid":%d%s}`,
+			name, ftoa((e.TMS-e.DurMS)*1000), ftoa(e.DurMS*1000), chromeTID(e), extra))
 	}
 	for _, e := range t.Events {
 		ts := ftoa(e.TMS * 1000) // ms -> us
@@ -256,6 +320,32 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		case KindServeStart:
 			line = fmt.Sprintf(`{"name":"batch(%d)","ph":"X","ts":%s,"dur":%s,"pid":0,"tid":%d}`,
 				e.Batch, ts, ftoa(e.DurMS*1000), tid)
+		case KindSeqComplete:
+			if err := slice(e, fmt.Sprintf("seq(%d)", e.Req),
+				fmt.Sprintf(`,"args":{"lat_ms":%s}`, ftoa(e.LatMS))); err != nil {
+				return err
+			}
+			continue
+		case KindPreempt:
+			// The evicted residency paints the track, then an instant
+			// marks the eviction itself.
+			if err := slice(e, fmt.Sprintf("seq(%d)", e.Req), ""); err != nil {
+				return err
+			}
+			line = fmt.Sprintf(`{"name":"preempt","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"req":%d,"blocks":%d}}`,
+				ts, tid, e.Req, e.Val)
+		case KindPrefillChunk:
+			if err := slice(e, fmt.Sprintf("prefill(%d)", e.Val),
+				fmt.Sprintf(`,"args":{"req":%d}`, e.Req)); err != nil {
+				return err
+			}
+			continue
+		case KindDecodeFlush:
+			if err := slice(e, fmt.Sprintf("decode(%d)", e.Val),
+				fmt.Sprintf(`,"args":{"req":%d}`, e.Req)); err != nil {
+				return err
+			}
+			continue
 		case KindCrash:
 			line = fmt.Sprintf(`{"name":"down","ph":"B","ts":%s,"pid":0,"tid":%d}`, ts, tid)
 		case KindRestart:

@@ -123,6 +123,77 @@ func TestWriteChromeValidJSONAndTracks(t *testing.T) {
 	}
 }
 
+// TestWriteChromeGenSlotTracks: a generative trace renders queue/slot
+// track names, residencies and committed work as X slices at their
+// commit instant minus duration, and preemptions as instants.
+func TestWriteChromeGenSlotTracks(t *testing.T) {
+	tr := NewTracer()
+	a := At(0, KindSeqArrive)
+	a.Req = 3
+	a.Val = 64
+	tr.Emit(a)
+	p := At(40, KindPrefillChunk)
+	p.Req = 3
+	p.Replica = 1
+	p.Val = 32
+	p.DurMS = 30
+	tr.Emit(p)
+	pe := At(70, KindPreempt)
+	pe.Req = 3
+	pe.Replica = 1
+	pe.Val = 5
+	pe.DurMS = 60
+	tr.Emit(pe)
+	c := At(200, KindSeqComplete)
+	c.Req = 3
+	c.Replica = 1
+	c.DurMS = 120
+	c.LatMS = 200
+	tr.Emit(c)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("gen Chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	names := map[string]bool{}
+	var seqSlices, preemptInstants int
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "M" {
+			names[ev["args"].(map[string]any)["name"].(string)] = true
+		}
+		if ev["ph"] == "X" && ev["name"] == "seq(3)" {
+			seqSlices++
+			ts, dur := ev["ts"].(float64), ev["dur"].(float64)
+			if !(ts == 10000 && dur == 60000) && !(ts == 80000 && dur == 120000) {
+				t.Errorf("seq slice ts/dur = %v/%v, want the preempted or final residency", ts, dur)
+			}
+		}
+		if ev["ph"] == "i" && ev["name"] == "preempt" {
+			preemptInstants++
+		}
+		if ev["ph"] == "X" && ev["name"] == "prefill(32)" {
+			if ev["ts"].(float64) != 10000 || ev["dur"].(float64) != 30000 {
+				t.Errorf("prefill slice ts/dur = %v/%v, want 10000/30000", ev["ts"], ev["dur"])
+			}
+		}
+	}
+	if !names["queue"] || !names["slot 0"] || !names["slot 1"] {
+		t.Errorf("gen track names = %v, want queue + slot 0..1", names)
+	}
+	if seqSlices != 2 {
+		t.Errorf("%d seq(3) slices, want 2 (preempted residency + final residency)", seqSlices)
+	}
+	if preemptInstants != 1 {
+		t.Errorf("%d preempt instants, want 1", preemptInstants)
+	}
+}
+
 func TestTracerEmptyWritesAreValid(t *testing.T) {
 	tr := NewTracer()
 	var j, c bytes.Buffer

@@ -25,6 +25,24 @@ type Gauges struct {
 	Parked int
 	// QueueDepths is the per-replica queue depth, indexed by replica.
 	QueueDepths []int
+
+	// Generative gauges, sampled only when Timeline.Gen is set (zero on
+	// classification runs). Running/Queued reuse the semantics above.
+	//
+	// Running is the number of sequences resident in decode slots.
+	Running int
+	// KVFree / KVHeld are the free and held block counts of the KV pool.
+	KVFree int
+	// KVHeld is the number of KV blocks currently granted to sequences.
+	KVHeld int
+	// KVUtil is the instantaneous pool utilization, KVHeld/(KVFree+KVHeld).
+	KVUtil float64
+	// Preempts is the cumulative preemption count up to this tick.
+	Preempts int
+	// KVBlockMS is the exact block-milliseconds integral (∫held·dt)
+	// accumulated inside this row's window, so the column sums to
+	// Stats.KVUtil × KVBlocks × span over the whole run.
+	KVBlockMS float64
 }
 
 // Row is one emitted timeline sample: the gauges at a tick instant plus
@@ -55,6 +73,10 @@ type Timeline struct {
 	TickMS float64
 	// SLOms classifies window completions as goodput; 0 counts all.
 	SLOms float64
+	// Gen selects the generative CSV column set (KV-pool gauges instead
+	// of replica/queue-depth gauges). Set by the generative engine when
+	// it attaches the timeline.
+	Gen bool
 
 	Rows []Row
 
@@ -87,14 +109,16 @@ func (tl *Timeline) Observe(latMS float64, sloMiss bool) {
 }
 
 // CatchUp emits a Row for every pending tick instant <= nowMS, calling
-// snap for the gauges at each. The first call emits the tick-0 row. The
-// window stats land on the first row of a batch and reset after it: when
-// the clock jumps several ticks at once the intermediate rows are
-// (correctly) empty-window rows, since no completions happened inside
-// them.
-func (tl *Timeline) CatchUp(nowMS float64, snap func() Gauges) {
+// snap for the gauges at each. snap receives the tick instant being
+// sampled so gauges that integrate over the window (KVBlockMS) can be
+// exact; snapshots that only read instantaneous state ignore it. The
+// first call emits the tick-0 row. The window stats land on the first
+// row of a batch and reset after it: when the clock jumps several ticks
+// at once the intermediate rows are (correctly) empty-window rows, since
+// no completions happened inside them.
+func (tl *Timeline) CatchUp(nowMS float64, snap func(tMS float64) Gauges) {
 	for tl.nextTick <= nowMS {
-		g := snap()
+		g := snap(tl.nextTick)
 		row := Row{TMS: tl.nextTick, Gauges: g, WinDone: tl.winDone}
 		if tl.winDone > 0 {
 			row.WinP99MS = tl.winLat.Percentile(99)
@@ -111,12 +135,12 @@ func (tl *Timeline) CatchUp(nowMS float64, snap func() Gauges) {
 // emit via CatchUp, then any completions recorded after the last tick
 // emit as one final partial-window row stamped at nowMS, so the
 // timeline's summed WinDone always equals the run's delivered count.
-func (tl *Timeline) Finish(nowMS float64, snap func() Gauges) {
+func (tl *Timeline) Finish(nowMS float64, snap func(tMS float64) Gauges) {
 	tl.CatchUp(nowMS, snap)
 	if tl.winDone == 0 {
 		return
 	}
-	row := Row{TMS: nowMS, Gauges: snap(), WinDone: tl.winDone, WinP99MS: tl.winLat.Percentile(99)}
+	row := Row{TMS: nowMS, Gauges: snap(nowMS), WinDone: tl.winDone, WinP99MS: tl.winLat.Percentile(99)}
 	if span := nowMS - (tl.nextTick - tl.TickMS); span > 0 {
 		row.WinGoodputQPS = float64(tl.winGood) / span * 1000
 	}
@@ -128,11 +152,19 @@ func (tl *Timeline) Finish(nowMS float64, snap func() Gauges) {
 // csvHeader is the fixed column set of WriteCSV.
 const csvHeader = "t_ms,replicas,live,queued,inflight,parked,win_done,win_p99_ms,win_goodput_qps,queue_depths\n"
 
+// genCSVHeader is the generative column set, selected by Timeline.Gen.
+const genCSVHeader = "t_ms,running,queued,kv_free,kv_held,kv_util,kv_block_ms,preempts,win_done,win_p99_ms,win_goodput_qps\n"
+
 // WriteCSV writes the timeline with a fixed header. Per-replica queue
 // depths are semicolon-joined in the final column so the row count stays
-// stable when autoscaling changes the replica count mid-run. Floats use
-// the shortest exact representation; output is byte-stable.
+// stable when autoscaling changes the replica count mid-run. Generative
+// timelines (Gen set) swap the replica gauges for the KV-pool column
+// set. Floats use the shortest exact representation; output is
+// byte-stable.
 func (tl *Timeline) WriteCSV(w io.Writer) error {
+	if tl.Gen {
+		return tl.writeGenCSV(w)
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(csvHeader); err != nil {
 		return err
@@ -164,6 +196,44 @@ func (tl *Timeline) WriteCSV(w io.Writer) error {
 			}
 			buf = strconv.AppendInt(buf, int64(d), 10)
 		}
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// writeGenCSV emits the generative column set (see genCSVHeader).
+func (tl *Timeline) writeGenCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(genCSVHeader); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, r := range tl.Rows {
+		buf = buf[:0]
+		buf = append(buf, ftoa(r.TMS)...)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Gauges.Running), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Gauges.Queued), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Gauges.KVFree), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Gauges.KVHeld), 10)
+		buf = append(buf, ',')
+		buf = append(buf, ftoa(r.Gauges.KVUtil)...)
+		buf = append(buf, ',')
+		buf = append(buf, ftoa(r.Gauges.KVBlockMS)...)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Gauges.Preempts), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.WinDone), 10)
+		buf = append(buf, ',')
+		buf = append(buf, ftoa(r.WinP99MS)...)
+		buf = append(buf, ',')
+		buf = append(buf, ftoa(r.WinGoodputQPS)...)
 		buf = append(buf, '\n')
 		if _, err := bw.Write(buf); err != nil {
 			return err

@@ -6,7 +6,7 @@ import (
 	"testing"
 )
 
-func staticGauges(g Gauges) func() Gauges { return func() Gauges { return g } }
+func staticGauges(g Gauges) func(float64) Gauges { return func(float64) Gauges { return g } }
 
 func TestTimelineTickZeroAndCatchUp(t *testing.T) {
 	tl := NewTimeline(100, 0)
@@ -96,5 +96,80 @@ func TestTimelineDefaultTick(t *testing.T) {
 	tl := NewTimeline(0, 0)
 	if tl.TickMS != DefaultTickMS {
 		t.Errorf("TickMS = %v, want %v", tl.TickMS, DefaultTickMS)
+	}
+}
+
+// TestTimelineFinishNeverTicked: Finish on a timeline that never saw a
+// CatchUp emits exactly one closing row (the tick-0 row), whether or not
+// the window holds completions.
+func TestTimelineFinishNeverTicked(t *testing.T) {
+	tl := NewTimeline(100, 0)
+	tl.Finish(0, staticGauges(Gauges{}))
+	if len(tl.Rows) != 1 || tl.Rows[0].TMS != 0 || tl.Rows[0].WinDone != 0 {
+		t.Fatalf("Finish(0) on a never-ticked timeline: rows = %+v, want single empty t=0 row", tl.Rows)
+	}
+
+	tl = NewTimeline(100, 0)
+	tl.Observe(12, false)
+	tl.Finish(0, staticGauges(Gauges{}))
+	if len(tl.Rows) != 1 {
+		t.Fatalf("Finish(0) with one completion: %d rows, want 1", len(tl.Rows))
+	}
+	if tl.Rows[0].WinDone != 1 {
+		t.Fatalf("closing row = %+v, want the completion folded in", tl.Rows[0])
+	}
+}
+
+// TestTimelineNeverTickedWritesHeaderOnly: a timeline with no rows at
+// all (never caught up, never finished) writes just the header — the
+// zero-sequence generative case.
+func TestTimelineNeverTickedWritesHeaderOnly(t *testing.T) {
+	for _, gen := range []bool{false, true} {
+		tl := NewTimeline(100, 0)
+		tl.Gen = gen
+		var buf bytes.Buffer
+		if err := tl.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		want := csvHeader
+		if gen {
+			want = genCSVHeader
+		}
+		if buf.String() != want {
+			t.Fatalf("gen=%v: empty timeline CSV = %q, want header only", gen, buf.String())
+		}
+	}
+}
+
+// TestTimelineGenWriteCSV pins the generative column set byte-for-byte.
+func TestTimelineGenWriteCSV(t *testing.T) {
+	tl := NewTimeline(50, 0)
+	tl.Gen = true
+	tl.CatchUp(0, staticGauges(Gauges{Running: 3, Queued: 2, KVFree: 6, KVHeld: 10, KVUtil: 0.625, Preempts: 1}))
+	tl.Observe(12.5, false)
+	tl.CatchUp(50, staticGauges(Gauges{Running: 1, KVFree: 12, KVHeld: 4, KVUtil: 0.25, KVBlockMS: 420, Preempts: 2}))
+
+	var a, b bytes.Buffer
+	if err := tl.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("gen WriteCSV is not byte-stable across calls")
+	}
+	lines := strings.Split(strings.TrimSuffix(a.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows:\n%s", len(lines), a.String())
+	}
+	if lines[0] != strings.TrimSuffix(genCSVHeader, "\n") {
+		t.Errorf("header = %s", lines[0])
+	}
+	if lines[1] != "0,3,2,6,10,0.625,0,1,0,0,0" {
+		t.Errorf("row 0 = %s", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "50,1,0,12,4,0.25,420,2,1,") || !strings.HasSuffix(lines[2], ",20") {
+		t.Errorf("row 1 = %s", lines[2])
 	}
 }

@@ -578,7 +578,7 @@ type clusterSim struct {
 	// snapshot instant to the timeline without allocating a closure per
 	// clock step.
 	snapAt float64
-	snapFn func() obs.Gauges
+	snapFn func(float64) obs.Gauges
 }
 
 // OnEvent dispatches the cluster's engine events; the arrival source is
@@ -954,7 +954,7 @@ func runSerialCluster(stream *workload.Stream, makeHandler func(i int) Handler, 
 		// at loop.Now()), breaking timeline-on == timeline-off results.
 		// snapFn is bound once; snapAt carries the pre-advance instant so
 		// no per-step closure is needed.
-		c.snapFn = func() obs.Gauges { return c.gauges(c.snapAt) }
+		c.snapFn = func(float64) obs.Gauges { return c.gauges(c.snapAt) }
 		c.loop.OnAdvance(func(prev, now float64) {
 			c.snapAt = prev
 			c.tl.CatchUp(now, c.snapFn)
@@ -963,7 +963,7 @@ func runSerialCluster(stream *workload.Stream, makeHandler func(i int) Handler, 
 	c.loop.Run()
 	if c.tl != nil {
 		end := c.loop.Now()
-		c.tl.Finish(end, func() obs.Gauges { return c.gauges(end) })
+		c.tl.Finish(end, func(float64) obs.Gauges { return c.gauges(end) })
 	}
 
 	cs := &ClusterStats{PerReplica: make([]*Stats, len(c.replicas)), Scale: c.plan}

@@ -324,9 +324,9 @@ func Run(src RequestSource, h Handler, opts Options) *Stats {
 	// snap is the timeline's gauge callback, bound once: it reads the
 	// loop variables through the closure, and each emitted row gets its
 	// own one-element depth slice (rows retain their slices).
-	var snap func() obs.Gauges
+	var snap func(float64) obs.Gauges
 	if tl != nil {
-		snap = func() obs.Gauges {
+		snap = func(float64) obs.Gauges {
 			d := len(queue) - qhead
 			return obs.Gauges{Replicas: 1, Live: 1, Queued: d, QueueDepths: []int{d}}
 		}
@@ -481,7 +481,7 @@ func Run(src RequestSource, h Handler, opts Options) *Stats {
 	}
 
 	if tl != nil {
-		tl.Finish(now, func() obs.Gauges {
+		tl.Finish(now, func(float64) obs.Gauges {
 			return obs.Gauges{Replicas: 1, Live: 1, QueueDepths: []int{0}}
 		})
 	}

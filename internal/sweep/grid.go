@@ -71,11 +71,13 @@ type Grid struct {
 	PrefillChunks []int
 
 	// Trace and Timeline turn on observability for every expanded
-	// classification scenario (generative scenarios clear them); they
-	// are run-wide switches, not axes — observability never enters a
-	// scenario's identity, so a traced sweep expands to exactly the
-	// same scenarios and seeds as an untraced one. ObsTickMS sets the
-	// timeline sampling period (0 = obs.DefaultTickMS).
+	// scenario — classification runs trace request lifecycles and
+	// cluster gauges, generative runs trace sequence lifecycles and
+	// KV-pool gauges. They are run-wide switches, not axes —
+	// observability never enters a scenario's identity, so a traced
+	// sweep expands to exactly the same scenarios and seeds as an
+	// untraced one. ObsTickMS sets the timeline sampling period (0 =
+	// obs.DefaultTickMS).
 	Trace     bool
 	Timeline  bool
 	ObsTickMS float64

@@ -99,6 +99,74 @@ func TestObsFilesDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// genObsGrid is a traced generative-KV grid: bounded and unbounded
+// pools with prefix caching and chunked prefill.
+func genObsGrid() Grid {
+	return Grid{
+		Models:        []string{"t5-large"},
+		Workloads:     []string{"cnn-dailymail"},
+		KVBlocks:      []int{0, 48},
+		PrefixHits:    []float64{0, 0.4},
+		PrefillChunks: []int{128},
+		Trace:         true,
+		Timeline:      true,
+		ObsTickMS:     200,
+		GenN:          12,
+		Seed:          8,
+	}
+}
+
+// TestGenObsFilesDeterministicAcrossWorkers extends the observability
+// byte-identity gate to the generative path: traced KV sweeps at 1 and
+// 8 workers write identical trace and timeline files.
+func TestGenObsFilesDeterministicAcrossWorkers(t *testing.T) {
+	scs, err := genObsGrid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) < 4 {
+		t.Fatalf("gen obs grid expanded to only %d scenarios", len(scs))
+	}
+	for _, sc := range scs {
+		if !sc.Generative() {
+			t.Fatalf("scenario %s is not generative", sc.Key())
+		}
+		if !sc.Trace || !sc.Timeline {
+			t.Fatalf("generative scenario %s lost its observability knobs", sc.Key())
+		}
+	}
+	runTo := func(workers int) string {
+		dir := t.TempDir()
+		results := Run(scs, Options{Workers: workers, ObsDir: dir})
+		for _, r := range results {
+			if r.Err != "" {
+				t.Fatalf("scenario %s failed: %s", r.Scenario.Key(), r.Err)
+			}
+		}
+		return dir
+	}
+	d1, d8 := runTo(1), runTo(8)
+	for i := range scs {
+		for _, pat := range []string{"trace_%03d.jsonl", "timeline_%03d.csv"} {
+			name := filepath.Join(d1, fmt.Sprintf(pat, i))
+			b1, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatalf("missing gen obs file for scenario %d: %v", i, err)
+			}
+			if len(b1) == 0 {
+				t.Fatalf("gen obs file %s is empty", name)
+			}
+			b8, err := os.ReadFile(filepath.Join(d8, fmt.Sprintf(pat, i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b1) != string(b8) {
+				t.Fatalf("gen obs file %s differs between -workers 1 and -workers 8", fmt.Sprintf(pat, i))
+			}
+		}
+	}
+}
+
 // TestObsDirUnsetSkipsWriting checks a traced grid with no ObsDir still
 // runs (sinks collected and discarded) and writes nothing.
 func TestObsDirUnsetSkipsWriting(t *testing.T) {
